@@ -1,0 +1,123 @@
+// Command sresim simulates one network under one configuration and
+// prints per-layer and total cycles, time, and energy.
+//
+// Usage:
+//
+//	sresim -network VGG-16 -mode orc+dof
+//	sresim -network MNIST -mode dof -ou 32 -cellbits 4 -layers
+//	sresim -network CaffeNet -prune gsl -mode orc
+//	sresim -network MNIST -isaac
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sre"
+)
+
+func main() {
+	var (
+		network  = flag.String("network", "MNIST", "network name (see -networks) ")
+		networks = flag.Bool("networks", false, "list available networks")
+		modeName = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
+		pruneStr = flag.String("prune", "ssl", "ssl|gsl|dense")
+		ou       = flag.Int("ou", 16, "square OU size")
+		xbar     = flag.Int("crossbar", 128, "crossbar dimension")
+		cellBits = flag.Int("cellbits", 2, "bits per ReRAM cell")
+		dacBits  = flag.Int("dacbits", 1, "DAC resolution bits")
+		windows  = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		layers   = flag.Bool("layers", false, "print per-layer results")
+		runISAAC = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
+	)
+	flag.Parse()
+
+	if *networks {
+		for _, n := range sre.Networks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := sre.DefaultConfig()
+	cfg.CrossbarSize = *xbar
+	cfg = cfg.WithOU(*ou)
+	cfg.CellBits = *cellBits
+	cfg.DACBits = *dacBits
+	cfg.MaxWindows = *windows
+	cfg.Seed = *seed
+
+	style, err := parsePrune(*pruneStr)
+	fatal(err)
+
+	net, err := sre.LoadNetwork(*network, style, cfg)
+	fatal(err)
+
+	base, err := net.Run(sre.Baseline)
+	fatal(err)
+	var res sre.Result
+	if strings.ToLower(*modeName) == "occ" {
+		res, err = net.RunOCC()
+	} else {
+		var mode sre.Mode
+		mode, err = parseMode(*modeName)
+		fatal(err)
+		res, err = net.Run(mode)
+	}
+	fatal(err)
+
+	fmt.Printf("network   %s (%d matrix layers, prune %s)\n", net.Name(), net.LayerCount(), *pruneStr)
+	fmt.Printf("mode      %s\n", strings.ToLower(*modeName))
+	fmt.Printf("cycles    %d (baseline %d, speedup %.2fx)\n",
+		res.Cycles, base.Cycles, float64(base.Cycles)/float64(res.Cycles))
+	fmt.Printf("time      %.4g s\n", res.Seconds)
+	fmt.Printf("energy    %.4g J (%.1f%% of baseline; eDRAM %.1f%%, compute %.1f%%)\n",
+		res.Energy.Total(), 100*res.Energy.Total()/base.Energy.Total(),
+		100*res.Energy.EDRAM/res.Energy.Total(), 100*res.Energy.Compute/res.Energy.Total())
+	fmt.Printf("compress  %.2fx weight compression, %.1f KB index storage\n",
+		res.CompressionRatio, float64(res.IndexStorageBits)/8/1024)
+
+	if *layers {
+		fmt.Println("\nper-layer:")
+		for _, l := range res.Layers {
+			fmt.Printf("  %-40s %12d cycles  %10.3g J\n", l.Name, l.Cycles, l.Energy.Total())
+		}
+	}
+	if *runISAAC {
+		ires := net.RunISAAC(true)
+		fmt.Printf("\nISAAC(+ReCom): time %.4g s, energy %.4g J — SRE/ISAAC time %.2f, energy %.2f\n",
+			ires.Seconds, ires.Energy.Total(),
+			res.Seconds/ires.Seconds, res.Energy.Total()/ires.Energy.Total())
+	}
+}
+
+func parseMode(s string) (sre.Mode, error) {
+	for _, m := range sre.Modes() {
+		if m.String() == strings.ToLower(s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parsePrune(s string) (sre.PruneStyle, error) {
+	switch strings.ToLower(s) {
+	case "ssl":
+		return sre.SSL, nil
+	case "gsl":
+		return sre.GSL, nil
+	case "dense":
+		return sre.Dense, nil
+	}
+	return 0, fmt.Errorf("unknown prune style %q", s)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sresim:", err)
+		os.Exit(1)
+	}
+}

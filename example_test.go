@@ -1,0 +1,51 @@
+package sre_test
+
+import (
+	"fmt"
+
+	"sre"
+)
+
+// ExampleNetworks lists the paper's Table 2 models.
+func ExampleNetworks() {
+	for _, name := range sre.Networks() {
+		fmt.Println(name)
+	}
+	// Output:
+	// MNIST
+	// CIFAR-10
+	// CaffeNet
+	// VGG-16
+	// GoogLeNet
+	// ResNet-50
+}
+
+// ExampleNetwork_Run compares the full Sparse ReRAM Engine against the
+// no-sparsity baseline on MNIST.
+func ExampleNetwork_Run() {
+	cfg := sre.DefaultConfig()
+	cfg.MaxWindows = 12 // sample windows for a fast example
+
+	net, err := sre.LoadNetwork("MNIST", sre.SSL, cfg)
+	if err != nil {
+		panic(err)
+	}
+	base, _ := net.Run(sre.Baseline)
+	res, _ := net.Run(sre.ORCDOF)
+	fmt.Printf("speedup %.1fx, energy %.0f%% of baseline\n",
+		float64(base.Cycles)/float64(res.Cycles),
+		100*res.Energy.Total()/base.Energy.Total())
+	// Output:
+	// speedup 5.1x, energy 21% of baseline
+}
+
+// ExampleCell_ReadErrorProbability shows the §3 sensing-margin mechanism
+// that forces OU-based operation.
+func ExampleCell_ReadErrorProbability() {
+	cell := sre.BaselineCell()
+	fmt.Printf("16 wordlines: %.3f\n", cell.ReadErrorProbability(16, 1.5))
+	fmt.Printf("128 wordlines: %.3f\n", cell.ReadErrorProbability(128, 1.5))
+	// Output:
+	// 16 wordlines: 0.012
+	// 128 wordlines: 0.374
+}

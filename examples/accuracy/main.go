@@ -1,0 +1,59 @@
+// Accuracy motivation study (the paper's §3 + Fig. 5): why a practical
+// ReRAM accelerator cannot activate a whole 128×128 crossbar at once.
+// Prints the per-read mis-sense probability of the bitline ADC as the
+// number of concurrently activated wordlines grows, for the baseline WOx
+// cell and its 2×/3× improved variants, plus the resulting expected
+// errors per million reads.
+//
+// (The full Fig. 5 experiment — really trained networks with Monte-Carlo
+// error injection — runs via `go run ./cmd/srebench -experiment fig5`.)
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+
+	"sre"
+)
+
+func main() {
+	const meanState = 1.5 // average programmed 2-bit cell state
+
+	cells := []struct {
+		name string
+		cell sre.Cell
+	}{
+		{"(Rb,  sb)  ", sre.BaselineCell()},
+		{"(2Rb, sb/2)", sre.BaselineCell().Improved(2)},
+		{"(3Rb, sb/3)", sre.BaselineCell().Improved(3)},
+	}
+
+	fmt.Println("per-read mis-sense probability vs concurrently active wordlines")
+	fmt.Printf("%-12s", "cell")
+	wordlines := []int{2, 4, 8, 16, 32, 64, 128}
+	for _, n := range wordlines {
+		fmt.Printf("%10d", n)
+	}
+	fmt.Println()
+	for _, c := range cells {
+		fmt.Printf("%-12s", c.name)
+		for _, n := range wordlines {
+			fmt.Printf("%10.2e", c.cell.ReadErrorProbability(n, meanState))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nerrors per million reads (an ImageNet inference issues ~10^9 reads):")
+	for _, c := range cells {
+		fmt.Printf("%-12s", c.name)
+		for _, n := range wordlines {
+			fmt.Printf("%10.0f", 1e6*c.cell.ReadErrorProbability(n, meanState))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\npaper's conclusion: with realistic cells, only ~16 wordlines can be")
+	fmt.Println("activated per cycle — the Operation Unit. That constraint is what")
+	fmt.Println("opens the OU-granularity sparsity opportunities SRE exploits.")
+}

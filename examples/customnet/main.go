@@ -1,0 +1,49 @@
+// Custom-network example: bring your own topology and sparsity levels.
+// Uses the same topology grammar as the paper's Table 2 strings and
+// sweeps how SRE's gains scale with weight sparsity.
+//
+//	go run ./examples/customnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sre"
+)
+
+func main() {
+	const topology = "conv3x16p1-conv3x16p1-pool-conv3x32p1-pool-128-10"
+
+	cfg := sre.DefaultConfig()
+	cfg.MaxWindows = 24
+
+	fmt.Println("topology:", topology)
+	fmt.Printf("\n%-16s %10s %10s %12s\n", "weight sparsity", "orc", "orc+dof", "energy left")
+	for _, ws := range []float64{0.2, 0.5, 0.8, 0.95} {
+		net, err := sre.BuildNetwork("custom", topology, []int{3, 32, 32},
+			ws, 0.4, sre.SSL, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := net.Run(sre.Baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		orc, err := net.Run(sre.ORC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		both, err := net.Run(sre.ORCDOF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%15.0f%% %9.2fx %9.2fx %11.1f%%\n",
+			ws*100,
+			float64(base.Cycles)/float64(orc.Cycles),
+			float64(base.Cycles)/float64(both.Cycles),
+			100*both.Energy.Total()/base.Energy.Total())
+	}
+	fmt.Println("\nactivation sparsity is held at 40%; DOF supplies a floor of gains")
+	fmt.Println("even for dense weights, and ORC scales with the pruning level.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: load one of the paper's Table 2 networks and compare every
+// sparsity-exploitation mode against the no-sparsity OU baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sre"
+)
+
+func main() {
+	cfg := sre.DefaultConfig() // Table 1: 128×128 crossbars, 16×16 OUs, 2-bit cells
+
+	net, err := sre.LoadNetwork("MNIST", sre.SSL, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results, err := net.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[sre.Baseline]
+
+	fmt.Printf("%s on a practical OU-based ReRAM accelerator (%d matrix layers)\n\n",
+		net.Name(), net.LayerCount())
+	fmt.Printf("%-10s %12s %10s %12s %10s\n", "mode", "cycles", "speedup", "energy (J)", "vs base")
+	for _, mode := range sre.Modes() {
+		r := results[mode]
+		fmt.Printf("%-10s %12d %9.2fx %12.3e %9.1f%%\n",
+			mode, r.Cycles,
+			float64(base.Cycles)/float64(r.Cycles),
+			r.Energy.Total(),
+			100*r.Energy.Total()/base.Energy.Total())
+	}
+
+	orc := results[sre.ORC]
+	fmt.Printf("\nORC weight compression: %.2fx (input indexes: %.1f KB)\n",
+		orc.CompressionRatio, float64(orc.IndexStorageBits)/8/1024)
+	fmt.Println("\nThe combined orc+dof row is the paper's Sparse ReRAM Engine.")
+}

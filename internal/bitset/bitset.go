@@ -1,0 +1,193 @@
+// Package bitset implements a dense fixed-capacity bitset with fast
+// population counts over sub-ranges.
+//
+// Bitsets are the simulator's hot data structure: every (window,
+// bit-slice) of activations becomes a mask of non-zero wordlines, and the
+// Dynamic-OU-Formation cycle count for an OU column group is
+// ceil(popcount(mask ∩ group rows) / S_WL). All counting paths therefore
+// work a word at a time.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-size bitset of n bits backed by 64-bit words.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set holding n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Words exposes the backing words for read-only word-at-a-time scans.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.n {
+		hi = s.n
+	}
+	if lo >= hi {
+		return 0
+	}
+	loW, hiW := lo/wordBits, (hi-1)/wordBits
+	loOff := uint(lo % wordBits)
+	hiOff := uint((hi-1)%wordBits) + 1
+	if loW == hiW {
+		w := s.words[loW] >> loOff
+		if span := hiOff - loOff; span < wordBits {
+			w &= 1<<span - 1
+		}
+		return bits.OnesCount64(w)
+	}
+	c := bits.OnesCount64(s.words[loW] >> loOff)
+	for i := loW + 1; i < hiW; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	last := s.words[hiW]
+	if hiOff < wordBits {
+		last &= (1 << hiOff) - 1
+	}
+	return c + bits.OnesCount64(last)
+}
+
+// CountAnd returns popcount(s ∩ other) without allocating. Both sets must
+// have the same length.
+func (s *Set) CountAnd(other *Set) int {
+	if s.n != other.n {
+		panic("bitset: CountAnd length mismatch")
+	}
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// And stores s ∩ other into dst (which must have the same length) and
+// returns dst.
+func (s *Set) And(other, dst *Set) *Set {
+	if s.n != other.n || s.n != dst.n {
+		panic("bitset: And length mismatch")
+	}
+	for i, w := range s.words {
+		dst.words[i] = w & other.words[i]
+	}
+	return dst
+}
+
+// Or stores s ∪ other into dst and returns dst.
+func (s *Set) Or(other, dst *Set) *Set {
+	if s.n != other.n || s.n != dst.n {
+		panic("bitset: Or length mismatch")
+	}
+	for i, w := range s.words {
+		dst.words[i] = w | other.words[i]
+	}
+	return dst
+}
+
+// Copy returns an independent copy of s.
+func (s *Set) Copy() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// SetAll sets every bit in [0, Len).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears any bits beyond n in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(s.n%wordBits)) - 1
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 if
+// there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i / wordBits
+	word := s.words[w] >> uint(i%wordBits)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// Indices appends the indices of all set bits to dst and returns it.
+func (s *Set) Indices(dst []int) []int {
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		dst = append(dst, i)
+	}
+	return dst
+}

@@ -1,0 +1,190 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sre/internal/xrand"
+)
+
+func TestSetClearTest(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		s.Clear(i)
+		if s.Test(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := New(200)
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+		want++
+	}
+	if got := s.Count(); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+// TestCountRangeAgainstNaive is the load-bearing test: CountRange drives
+// all DOF cycle math, so we check it exhaustively against a bit-by-bit
+// reference on random sets.
+func TestCountRangeAgainstNaive(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.4) {
+				s.Set(i)
+			}
+		}
+		for lo := 0; lo <= n; lo += 1 + r.Intn(5) {
+			for hi := lo; hi <= n; hi += 1 + r.Intn(7) {
+				want := 0
+				for i := lo; i < hi; i++ {
+					if s.Test(i) {
+						want++
+					}
+				}
+				if got := s.CountRange(lo, hi); got != want {
+					t.Fatalf("n=%d CountRange(%d,%d) = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountRangeClamps(t *testing.T) {
+	s := New(10)
+	s.SetAll()
+	if got := s.CountRange(-5, 100); got != 10 {
+		t.Fatalf("clamped CountRange = %d, want 10", got)
+	}
+	if got := s.CountRange(7, 3); got != 0 {
+		t.Fatalf("inverted CountRange = %d, want 0", got)
+	}
+}
+
+func TestCountAndMatchesAndCount(t *testing.T) {
+	r := xrand.New(2)
+	f := func(seedA, seedB uint16) bool {
+		n := 257
+		a, b := New(n), New(n)
+		ra := r.Split(string(rune(seedA)))
+		rb := r.Split(string(rune(seedB)) + "b")
+		for i := 0; i < n; i++ {
+			if ra.Bernoulli(0.5) {
+				a.Set(i)
+			}
+			if rb.Bernoulli(0.5) {
+				b.Set(i)
+			}
+		}
+		dst := New(n)
+		return a.CountAnd(b) == a.And(b, dst).Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(0)
+	a.Set(69)
+	b.Set(1)
+	b.Set(69)
+	dst := New(70)
+	a.Or(b, dst)
+	if dst.Count() != 3 || !dst.Test(0) || !dst.Test(1) || !dst.Test(69) {
+		t.Fatal("Or produced wrong result")
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 130} {
+		s := New(n)
+		s.SetAll()
+		if got := s.Count(); got != n {
+			t.Fatalf("SetAll on %d bits: Count = %d", n, got)
+		}
+	}
+}
+
+func TestNextSetAndIndices(t *testing.T) {
+	s := New(150)
+	set := []int{3, 64, 65, 149}
+	for _, i := range set {
+		s.Set(i)
+	}
+	got := s.Indices(nil)
+	if len(got) != len(set) {
+		t.Fatalf("Indices = %v", got)
+	}
+	for i := range set {
+		if got[i] != set[i] {
+			t.Fatalf("Indices = %v, want %v", got, set)
+		}
+	}
+	if s.NextSet(150) != -1 || s.NextSet(4) != 64 {
+		t.Fatal("NextSet edge behaviour wrong")
+	}
+	if s.NextSet(-10) != 3 {
+		t.Fatal("NextSet should clamp negative start")
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	b := a.Copy()
+	b.Set(6)
+	if a.Test(6) {
+		t.Fatal("Copy shares storage with original")
+	}
+	if !b.Test(5) {
+		t.Fatal("Copy dropped bits")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := New(99)
+	s.SetAll()
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset left bits set")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(8).Set(8)
+}
+
+func BenchmarkCountRange(b *testing.B) {
+	s := New(128)
+	for i := 0; i < 128; i += 2 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.CountRange(16, 112)
+	}
+	_ = sink
+}

@@ -1,0 +1,83 @@
+// Package buffer models the PE's on-chip eDRAM buffer (paper Table 1 and
+// §5.3): 64 KB, banked, with a 512-bit bus. Its job in the SRE pipeline
+// is to deliver one full input batch (128 activations × 16 bits) to an
+// input register within a single pipeline cycle so that index decoding
+// and fetching stay hidden behind OU computation; the paper states the
+// buffer is "configured to ensure that fetching a batch of input data
+// could be completed in one cycle" (8 banks, 512-bit bus). This package
+// makes that claim checkable instead of assumed, and reports when a
+// configuration would stall the pipeline instead.
+package buffer
+
+import "fmt"
+
+// Config describes an eDRAM buffer design point.
+type Config struct {
+	CapacityBytes int     // total capacity (Table 1: 64 KB)
+	Banks         int     // independently accessible banks (paper §5.3: 8)
+	BusBits       int     // data bus width per transfer (Table 1: 512)
+	Clock         float64 // buffer clock in Hz (PE clock, 1.2 GHz)
+}
+
+// Default returns the paper's buffer design point.
+func Default() Config {
+	return Config{CapacityBytes: 64 * 1024, Banks: 8, BusBits: 512, Clock: 1.2e9}
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.CapacityBytes <= 0:
+		return fmt.Errorf("buffer: non-positive capacity")
+	case c.Banks <= 0:
+		return fmt.Errorf("buffer: non-positive bank count")
+	case c.BusBits <= 0:
+		return fmt.Errorf("buffer: non-positive bus width")
+	case c.Clock <= 0:
+		return fmt.Errorf("buffer: non-positive clock")
+	}
+	return nil
+}
+
+// FetchClocks returns how many buffer clock cycles moving `bits` takes:
+// the transfer is striped over the banks, each contributing one BusBits
+// beat per clock.
+func (c Config) FetchClocks(bits int) int {
+	if bits <= 0 {
+		return 0
+	}
+	beats := (bits + c.BusBits - 1) / c.BusBits
+	return (beats + c.Banks - 1) / c.Banks
+}
+
+// FetchSeconds returns the wall-clock duration of a fetch.
+func (c Config) FetchSeconds(bits int) float64 {
+	return float64(c.FetchClocks(bits)) / c.Clock
+}
+
+// FitsInCycle reports whether a batch of `bits` can be fetched within one
+// pipeline cycle of the given duration — the §5.3 requirement for a
+// stall-free SRE pipeline.
+func (c Config) FitsInCycle(bits int, cycleSeconds float64) bool {
+	return c.FetchSeconds(bits) <= cycleSeconds
+}
+
+// StallCycles returns the pipeline cycles a fetch steals when it does not
+// fit (0 when it fits).
+func (c Config) StallCycles(bits int, cycleSeconds float64) int {
+	if cycleSeconds <= 0 {
+		panic("buffer: non-positive cycle time")
+	}
+	over := c.FetchSeconds(bits) - cycleSeconds
+	if over <= 0 {
+		return 0
+	}
+	return int(over/cycleSeconds) + 1
+}
+
+// HoldsFeatureMaps reports whether input plus output feature maps of
+// `inBits` and `outBits` fit the buffer simultaneously (the PE must hold
+// both while a layer computes).
+func (c Config) HoldsFeatureMaps(inBits, outBits int64) bool {
+	return (inBits+outBits+7)/8 <= int64(c.CapacityBytes)
+}

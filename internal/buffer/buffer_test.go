@@ -1,0 +1,100 @@
+package buffer
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if Default().Validate() != nil {
+		t.Fatal("default buffer rejected")
+	}
+	bad := []Config{
+		{CapacityBytes: 0, Banks: 8, BusBits: 512, Clock: 1e9},
+		{CapacityBytes: 1, Banks: 0, BusBits: 512, Clock: 1e9},
+		{CapacityBytes: 1, Banks: 8, BusBits: 0, Clock: 1e9},
+		{CapacityBytes: 1, Banks: 8, BusBits: 512, Clock: 0},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("accepted %+v", c)
+		}
+	}
+}
+
+// TestPaperBatchFitsInOneCycle validates the §5.3 claim the simulator
+// assumes: a 128×16-bit batch fetch completes within one 15 ns pipeline
+// cycle on the 8-bank, 512-bit-bus buffer.
+func TestPaperBatchFitsInOneCycle(t *testing.T) {
+	c := Default()
+	const batchBits = 128 * 16
+	// 2048 bits = 4 bus beats over 8 banks → one buffer clock (0.83 ns).
+	if got := c.FetchClocks(batchBits); got != 1 {
+		t.Fatalf("batch fetch takes %d buffer clocks, want 1", got)
+	}
+	if !c.FitsInCycle(batchBits, 15e-9) {
+		t.Fatal("paper's batch fetch must fit one SRE cycle")
+	}
+	if c.StallCycles(batchBits, 15e-9) != 0 {
+		t.Fatal("no stalls expected at the paper's design point")
+	}
+}
+
+// Even ORC's worst case — eight back-to-back group fetches per batch —
+// fits within one 15 ns cycle at the paper's clock (8 buffer clocks ≈
+// 6.7 ns), which is why the simulator charges energy but no latency for
+// them.
+func TestORCGroupFetchesFit(t *testing.T) {
+	c := Default()
+	total := 0.0
+	for g := 0; g < 8; g++ {
+		total += c.FetchSeconds(128 * 16)
+	}
+	if total > 15e-9 {
+		t.Fatalf("8 group fetches take %v s, exceeding one cycle", total)
+	}
+}
+
+func TestFetchClocksScaling(t *testing.T) {
+	c := Default()
+	if c.FetchClocks(0) != 0 {
+		t.Fatal("zero bits must be free")
+	}
+	if c.FetchClocks(1) != 1 {
+		t.Fatal("sub-beat fetch costs one clock")
+	}
+	// 16 beats over 8 banks = 2 clocks.
+	if got := c.FetchClocks(16 * 512); got != 2 {
+		t.Fatalf("16-beat fetch = %d clocks, want 2", got)
+	}
+}
+
+func TestStallCyclesWhenUndersized(t *testing.T) {
+	// A single-bank, narrow-bus buffer cannot hide a big fetch.
+	c := Config{CapacityBytes: 1024, Banks: 1, BusBits: 64, Clock: 1.2e9}
+	bits := 128 * 16 // 32 beats → 32 clocks ≈ 26.7 ns
+	if c.FitsInCycle(bits, 15e-9) {
+		t.Fatal("undersized buffer cannot fit the fetch")
+	}
+	if s := c.StallCycles(bits, 15e-9); s < 1 {
+		t.Fatalf("expected stalls, got %d", s)
+	}
+}
+
+func TestHoldsFeatureMaps(t *testing.T) {
+	c := Default()
+	// 64 KB holds e.g. a 14×14×512 16-bit input map (≈196 KB)? No — and
+	// the check must say so; a 14×14×128 map (≈49 KB) plus small output fits.
+	if c.HoldsFeatureMaps(14*14*512*16, 0) {
+		t.Fatal("capacity check too permissive")
+	}
+	if !c.HoldsFeatureMaps(14*14*128*16, 14*14*32*16) {
+		t.Fatal("capacity check too strict")
+	}
+}
+
+func TestStallPanicsOnBadCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default().StallCycles(10, 0)
+}

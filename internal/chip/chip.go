@@ -1,0 +1,128 @@
+// Package chip models chip-level resource provisioning and ISAAC-style
+// weight replication.
+//
+// Table 1 fixes the chip at 168 PEs × 12 CUs × 8 crossbar arrays = 16128
+// arrays. A network's layers occupy arrays according to their mapping
+// (internal/mapping); whatever capacity remains can hold *replicas* of
+// layer weights, and a layer's window stream divides across its replicas.
+// ISAAC replicates early convolution layers — which process tens of
+// thousands of sliding windows — so that every layer sustains a similar
+// throughput; the paper's evaluation builds on the ISAAC infrastructure
+// and inherits that mapping. Replication does not change any per-window
+// cycle counts, so speedup *ratios* per layer are untouched; it changes
+// how much each layer weighs in the end-to-end latency.
+package chip
+
+import "fmt"
+
+// Chip describes the array capacity of one accelerator chip.
+type Chip struct {
+	PEs         int
+	CUsPerPE    int
+	ArraysPerCU int
+}
+
+// Default returns the Table 1 chip: 168 PEs, 12 CUs each, 8 arrays each.
+func Default() Chip { return Chip{PEs: 168, CUsPerPE: 12, ArraysPerCU: 8} }
+
+// Arrays returns the chip's crossbar-array capacity.
+func (c Chip) Arrays() int { return c.PEs * c.CUsPerPE * c.ArraysPerCU }
+
+// Validate rejects non-physical chips.
+func (c Chip) Validate() error {
+	if c.PEs <= 0 || c.CUsPerPE <= 0 || c.ArraysPerCU <= 0 {
+		return fmt.Errorf("chip: non-positive dimension in %+v", c)
+	}
+	return nil
+}
+
+// LayerDemand is one layer's resource footprint and unreplicated latency.
+type LayerDemand struct {
+	Name    string
+	Arrays  int     // crossbar arrays one copy of the weights occupies
+	Latency float64 // seconds for one copy to process every window
+}
+
+// Plan is a replication assignment.
+type Plan struct {
+	Copies []int // replicas per layer (≥ 1)
+	Chips  int   // chips needed to hold the plan
+}
+
+// BaseArrays returns the arrays needed with no replication.
+func BaseArrays(layers []LayerDemand) int {
+	total := 0
+	for _, l := range layers {
+		total += l.Arrays
+	}
+	return total
+}
+
+// ChipsFor returns how many chips hold `arrays` arrays.
+func (c Chip) ChipsFor(arrays int) int {
+	cap := c.Arrays()
+	return (arrays + cap - 1) / cap
+}
+
+// Balance allocates replicas within an array budget to minimize the
+// end-to-end latency Σ latency_i/copies_i (equivalently, to balance
+// per-layer throughput): a greedy water-filling that always gives the
+// next copy to the layer with the largest current per-copy latency,
+// provided its weights fit the remaining budget. Every layer always gets
+// one copy even if the budget is exceeded (the network must be mapped).
+func Balance(layers []LayerDemand, budgetArrays int) Plan {
+	p := Plan{Copies: make([]int, len(layers))}
+	used := 0
+	for i, l := range layers {
+		p.Copies[i] = 1
+		used += l.Arrays
+	}
+	for {
+		// Find the slowest layer whose next copy still fits.
+		best := -1
+		var bestLat float64
+		for i, l := range layers {
+			if l.Arrays == 0 || used+l.Arrays > budgetArrays {
+				continue
+			}
+			lat := l.Latency / float64(p.Copies[i])
+			if lat > bestLat {
+				best, bestLat = i, lat
+			}
+		}
+		if best < 0 || bestLat == 0 {
+			break
+		}
+		p.Copies[best]++
+		used += layers[best].Arrays
+	}
+	p.Chips = Default().ChipsFor(used)
+	return p
+}
+
+// Latency returns the replicated end-to-end latency: layers execute in
+// sequence, each with its windows spread over its copies.
+func (p Plan) Latency(layers []LayerDemand) float64 {
+	total := 0.0
+	for i, l := range layers {
+		total += l.Latency / float64(p.Copies[i])
+	}
+	return total
+}
+
+// Throughput returns the pipelined inference rate (1/s): with layers
+// pipelined across inferences, the slowest replicated layer bounds the
+// rate.
+func (p Plan) Throughput(layers []LayerDemand) float64 {
+	worst := 0.0
+	for i, l := range layers {
+		lat := l.Latency / float64(p.Copies[i])
+		if lat > worst {
+			worst = lat
+		}
+	}
+	if worst == 0 {
+		return 0
+	}
+	return 1 / worst
+}

@@ -1,0 +1,107 @@
+package chip
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChipCapacity(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Arrays() != 16128 {
+		t.Fatalf("Table 1 chip holds %d arrays, want 16128", c.Arrays())
+	}
+	if (Chip{}).Validate() == nil {
+		t.Fatal("zero chip accepted")
+	}
+}
+
+func TestChipsFor(t *testing.T) {
+	c := Default()
+	if c.ChipsFor(1) != 1 || c.ChipsFor(16128) != 1 || c.ChipsFor(16129) != 2 {
+		t.Fatal("chip rounding wrong")
+	}
+}
+
+func demands() []LayerDemand {
+	return []LayerDemand{
+		{Name: "stem", Arrays: 2, Latency: 8}, // few arrays, many windows
+		{Name: "mid", Arrays: 10, Latency: 2},
+		{Name: "tail", Arrays: 40, Latency: 1},
+	}
+}
+
+func TestBalanceEveryLayerMapped(t *testing.T) {
+	p := Balance(demands(), 0) // budget too small even for one copy each
+	for i, c := range p.Copies {
+		if c != 1 {
+			t.Fatalf("layer %d copies %d, want 1", i, c)
+		}
+	}
+}
+
+func TestBalanceFavorsSlowLayers(t *testing.T) {
+	ls := demands()
+	p := Balance(ls, 100)
+	if p.Copies[0] <= p.Copies[2] {
+		t.Fatalf("slow cheap layer must replicate most: %v", p.Copies)
+	}
+	// Budget respected.
+	used := 0
+	for i, l := range ls {
+		used += l.Arrays * p.Copies[i]
+	}
+	if used > 100 {
+		t.Fatalf("plan uses %d arrays over budget", used)
+	}
+}
+
+func TestBalanceImprovesLatencyAndThroughput(t *testing.T) {
+	ls := demands()
+	one := Plan{Copies: []int{1, 1, 1}}
+	bal := Balance(ls, 200)
+	if bal.Latency(ls) >= one.Latency(ls) {
+		t.Fatal("replication did not cut latency")
+	}
+	if bal.Throughput(ls) <= one.Throughput(ls) {
+		t.Fatal("replication did not raise throughput")
+	}
+}
+
+func TestBalanceEqualizesPerCopyLatency(t *testing.T) {
+	ls := demands()
+	p := Balance(ls, 1000)
+	// With a generous budget, per-copy latencies should be within one
+	// replication step of each other wherever another copy would fit.
+	var lats []float64
+	for i, l := range ls {
+		lats = append(lats, l.Latency/float64(p.Copies[i]))
+	}
+	max, min := lats[0], lats[0]
+	for _, v := range lats {
+		max = math.Max(max, v)
+		min = math.Min(min, v)
+	}
+	if max/min > 3 {
+		t.Fatalf("per-copy latencies unbalanced: %v (copies %v)", lats, p.Copies)
+	}
+}
+
+func TestZeroLatencyLayerTerminates(t *testing.T) {
+	ls := []LayerDemand{{Name: "z", Arrays: 1, Latency: 0}}
+	p := Balance(ls, 1000)
+	if p.Copies[0] != 1 {
+		t.Fatal("zero-latency layer should not replicate")
+	}
+	if p.Throughput(ls) != 0 {
+		t.Fatal("degenerate throughput must be 0")
+	}
+}
+
+func TestBaseArrays(t *testing.T) {
+	if BaseArrays(demands()) != 52 {
+		t.Fatal("BaseArrays wrong")
+	}
+}

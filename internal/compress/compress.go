@@ -1,0 +1,392 @@
+// Package compress implements the weight-compression schemes the paper
+// evaluates (§4.1, §6, Figs. 8, 17, 20):
+//
+//	Baseline — no compression; every OU row executes.
+//	Naive    — crossbar-row compression: a row is removed from a crossbar
+//	           when all of its cells in that crossbar are zero.
+//	ReCom    — weight-matrix-row compression [24]: a row is removed only
+//	           when the entire logical matrix row (the same filter pixel
+//	           across every filter) is zero.
+//	ORC      — OU-row compression (the paper's scheme): per column-wise
+//	           OU group, rows whose S_BL cells are all zero are removed;
+//	           each group keeps its own delta-encoded input indexes
+//	           (zero-padded to a bounded width, internal/index).
+//	Ideal    — every zero cell removed (Fig. 20's upper bound).
+//	SNrram   — filter-grained column compression [44] (Fig. 20 arrows).
+//
+// The package never materializes the cell matrix: it scans weight codes
+// row by row and records, per (row block, column block, OU column group),
+// a bitset of rows that carry at least one non-zero cell. Everything else
+// — retained-row plans, compression ratios, index storage — derives from
+// those bitsets.
+package compress
+
+import (
+	"fmt"
+
+	"sre/internal/bitset"
+	"sre/internal/index"
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/tensor"
+)
+
+// Scheme selects a weight-compression policy.
+type Scheme int
+
+const (
+	Baseline Scheme = iota
+	Naive
+	ReCom
+	ORC
+	Ideal
+	// OCC is OU-column compression (§4.1, Fig. 8(c)). It has its own
+	// structure type (OCCStructure) because it compresses along the other
+	// axis; Plan rejects it.
+	OCC
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case Naive:
+		return "naive"
+	case ReCom:
+		return "recom"
+	case ORC:
+		return "orc"
+	case Ideal:
+		return "ideal"
+	case OCC:
+		return "occ"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Source supplies quantized weight magnitude codes row-major without
+// materializing the decomposed cell matrix.
+type Source interface {
+	// Dims returns the logical matrix dimensions.
+	Dims() (rows, cols int)
+	// RowCodes fills dst (length cols) with row r's magnitude codes.
+	RowCodes(r int, dst []uint32)
+}
+
+// FloatSource adapts a rank-2 float weight tensor, quantizing on the fly
+// with a single per-tensor scale (as quant.QuantizeMatrix does).
+type FloatSource struct {
+	W     *tensor.Tensor
+	WBits int
+	scale float64
+}
+
+// NewFloatSource builds a FloatSource for w under p.
+func NewFloatSource(w *tensor.Tensor, p quant.Params) *FloatSource {
+	if len(w.Shape()) != 2 {
+		panic("compress: FloatSource wants a rank-2 tensor")
+	}
+	return &FloatSource{W: w, WBits: p.WBits, scale: quant.ScaleFor(float64(w.MaxAbs()), p.WBits)}
+}
+
+func (f *FloatSource) Dims() (int, int) { return f.W.Dim(0), f.W.Dim(1) }
+
+func (f *FloatSource) RowCodes(r int, dst []uint32) {
+	cols := f.W.Dim(1)
+	row := f.W.Data()[r*cols : (r+1)*cols]
+	for c, v := range row {
+		if v < 0 {
+			v = -v
+		}
+		dst[c] = quant.QuantizeUnsigned(float64(v), f.WBits, f.scale)
+	}
+}
+
+// CodeSource adapts an in-memory code matrix (used by the synthetic
+// workload generator).
+type CodeSource struct {
+	Rows, Cols int
+	Codes      []uint32
+}
+
+func (c *CodeSource) Dims() (int, int) { return c.Rows, c.Cols }
+
+func (c *CodeSource) RowCodes(r int, dst []uint32) {
+	copy(dst, c.Codes[r*c.Cols:(r+1)*c.Cols])
+}
+
+// Structure is the per-layer compression structure: for every OU column
+// group of every crossbar tile, which rows carry non-zero cells.
+type Structure struct {
+	Layout mapping.Layout
+	P      quant.Params
+	// groups[rb][cb][g] has bit r set iff tile row r has a non-zero cell
+	// in group g's columns.
+	groups [][][]*bitset.Set
+	// nonZeroCells counts non-zero cells over the whole layer (Ideal).
+	nonZeroCells int64
+}
+
+// Build scans src and constructs the structure for geometry g under
+// quantization p.
+func Build(src Source, p quant.Params, g mapping.Geometry) *Structure {
+	rows, cols := src.Dims()
+	layout := mapping.NewLayout(rows, cols, p, g)
+	s := &Structure{Layout: layout, P: p}
+	s.groups = make([][][]*bitset.Set, layout.RowBlocks)
+	for rb := range s.groups {
+		s.groups[rb] = make([][]*bitset.Set, layout.ColBlocks)
+		tileRows := layout.TileRows(rb)
+		for cb := range s.groups[rb] {
+			gs := make([]*bitset.Set, layout.GroupsInTile(cb))
+			for gi := range gs {
+				gs[gi] = bitset.New(tileRows)
+			}
+			s.groups[rb][cb] = gs
+		}
+	}
+	cpw := p.CellsPerWeight()
+	mask := uint32(1)<<uint(p.CellBits) - 1
+	codes := make([]uint32, cols)
+	for r := 0; r < rows; r++ {
+		src.RowCodes(r, codes)
+		rb := r / g.XbarRows
+		tr := r % g.XbarRows
+		for c, code := range codes {
+			if code == 0 {
+				continue
+			}
+			for j := 0; j < cpw; j++ {
+				if code>>uint(j*p.CellBits)&mask == 0 {
+					continue
+				}
+				s.nonZeroCells++
+				pc := c*cpw + j
+				cb := pc / g.XbarCols
+				gi := (pc % g.XbarCols) / g.SBL
+				s.groups[rb][cb][gi].Set(tr)
+			}
+		}
+	}
+	return s
+}
+
+// GroupNonZeroRows returns the bitset of rows with any non-zero cell in
+// (rb, cb, gi). Callers must not mutate it.
+func (s *Structure) GroupNonZeroRows(rb, cb, gi int) *bitset.Set {
+	return s.groups[rb][cb][gi]
+}
+
+// TileNonZeroRows returns rows non-zero anywhere within tile (rb, cb) —
+// the Naive crossbar-row criterion.
+func (s *Structure) TileNonZeroRows(rb, cb int) *bitset.Set {
+	out := bitset.New(s.Layout.TileRows(rb))
+	for _, g := range s.groups[rb][cb] {
+		g.Or(out, out)
+	}
+	return out
+}
+
+// BlockNonZeroRows returns rows non-zero anywhere in the whole logical
+// matrix row (across every column block) — the ReCom criterion.
+func (s *Structure) BlockNonZeroRows(rb int) *bitset.Set {
+	out := bitset.New(s.Layout.TileRows(rb))
+	for cb := range s.groups[rb] {
+		for _, g := range s.groups[rb][cb] {
+			g.Or(out, out)
+		}
+	}
+	return out
+}
+
+// GroupPlan is the execution plan of one column-wise OU group under a
+// compression scheme: the ordered tile-relative rows that remain mapped
+// (fillers included), and the input-index storage it needs.
+type GroupPlan struct {
+	Rows        []int
+	Fillers     int
+	StorageBits int64
+}
+
+// RowCount returns the number of mapped rows (fillers included) — what
+// cycle counts and compressed size derive from.
+func (gp GroupPlan) RowCount() int { return len(gp.Rows) }
+
+// Plan computes the retained rows of group (rb, cb, gi) under scheme.
+// indexBits bounds the delta-encoded input indexes for schemes that
+// reorder inputs (Naive, ReCom, ORC); pass 0 to disable zero-padding
+// (unbounded indexes, each costing ceil(log2(XbarRows)) bits).
+func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
+	tileRows := s.Layout.TileRows(rb)
+	var keep *bitset.Set
+	switch scheme {
+	case Baseline:
+		all := make([]int, tileRows)
+		for i := range all {
+			all[i] = i
+		}
+		return GroupPlan{Rows: all}
+	case Naive:
+		keep = s.TileNonZeroRows(rb, cb)
+	case ReCom:
+		keep = s.BlockNonZeroRows(rb)
+	case ORC, Ideal:
+		keep = s.groups[rb][cb][gi]
+	default:
+		panic("compress: Plan does not support scheme " + scheme.String())
+	}
+	rows := keep.Indices(nil)
+	if scheme == Ideal {
+		// Upper bound: no padding, no index cost accounted.
+		return GroupPlan{Rows: rows}
+	}
+	if indexBits <= 0 {
+		bits := ceilLog2(s.Layout.XbarRows)
+		return GroupPlan{Rows: rows, StorageBits: int64(len(rows)) * int64(bits)}
+	}
+	enc, err := index.Encode(rows, indexBits)
+	if err != nil {
+		panic(err)
+	}
+	return GroupPlan{Rows: enc.Rows, Fillers: enc.Filler, StorageBits: enc.StorageBits()}
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}
+
+// sharedIndexGroups returns how many distinct index streams a scheme
+// stores per tile: ORC keeps one per column group; Naive one per tile;
+// ReCom one per row block (shared by every tile in the block).
+func (s *Structure) storagePlanned(scheme Scheme, indexBits int) (cells, storage int64) {
+	for rb := range s.groups {
+		recomCounted := false
+		for cb := range s.groups[rb] {
+			naiveCounted := false
+			for gi := range s.groups[rb][cb] {
+				gp := s.Plan(scheme, rb, cb, gi, indexBits)
+				lo, hi := s.Layout.GroupCols(cb, gi)
+				cells += int64(gp.RowCount()) * int64(hi-lo)
+				switch scheme {
+				case ORC:
+					storage += gp.StorageBits
+				case Naive:
+					if !naiveCounted {
+						storage += gp.StorageBits
+						naiveCounted = true
+					}
+				case ReCom:
+					if !recomCounted {
+						storage += gp.StorageBits
+						recomCounted = true
+					}
+				}
+			}
+		}
+	}
+	return cells, storage
+}
+
+// CompressedCells returns the mapped cell count under scheme (fillers
+// included) — the denominator of the Fig. 20 compression ratio.
+func (s *Structure) CompressedCells(scheme Scheme, indexBits int) int64 {
+	if scheme == Ideal {
+		return s.nonZeroCells
+	}
+	cells, _ := s.storagePlanned(scheme, indexBits)
+	return cells
+}
+
+// CompressionRatio returns originalCells / compressedCells (≥ 1).
+func (s *Structure) CompressionRatio(scheme Scheme, indexBits int) float64 {
+	comp := s.CompressedCells(scheme, indexBits)
+	if comp == 0 {
+		comp = 1
+	}
+	return float64(s.Layout.TotalCells()) / float64(comp)
+}
+
+// IndexStorageBits returns the total input-index storage the scheme needs
+// (Fig. 19 for ORC).
+func (s *Structure) IndexStorageBits(scheme Scheme, indexBits int) int64 {
+	_, storage := s.storagePlanned(scheme, indexBits)
+	return storage
+}
+
+// AbsoluteIndexBits returns the storage needed if absolute (non-delta)
+// indexes were kept instead — the ~4 MB comparison point the paper gives
+// for ResNet-50 (§7.2).
+func (s *Structure) AbsoluteIndexBits() int64 {
+	bits := int64(ceilLog2(s.Layout.XbarRows))
+	var total int64
+	for rb := range s.groups {
+		for cb := range s.groups[rb] {
+			for gi := range s.groups[rb][cb] {
+				total += int64(s.groups[rb][cb][gi].Count()) * bits
+			}
+		}
+	}
+	return total
+}
+
+// ChooseIndexBits implements the paper's §6 policy: the minimum index
+// width whose zero-padding loses less than lossFrac (10 %) of the
+// unpadded ORC compression ratio.
+func (s *Structure) ChooseIndexBits(lossFrac float64) int {
+	ref := s.CompressionRatio(ORC, 0)
+	maxBits := ceilLog2(s.Layout.XbarRows)
+	for bits := 1; bits < maxBits; bits++ {
+		if s.CompressionRatio(ORC, bits) >= ref*(1-lossFrac) {
+			return bits
+		}
+	}
+	return maxBits
+}
+
+// SNrramCompressedCells models SNrram's [44] filter-grained column
+// compression: each logical column splits into segments of segRows rows
+// (filter height × width for conv layers; 1 for FC), and all-zero
+// segments are removed. Works at weight granularity, matching the
+// model-based scheme it mimics.
+func SNrramCompressedCells(src Source, p quant.Params, segRows int) int64 {
+	rows, cols := src.Dims()
+	if segRows <= 0 {
+		segRows = 1
+	}
+	cpw := int64(p.CellsPerWeight())
+	// segNonZero[c] tracks whether the current segment of column c has a
+	// non-zero weight.
+	segNonZero := make([]bool, cols)
+	var kept int64
+	codes := make([]uint32, cols)
+	flush := func(rowsInSeg int) {
+		for c := range segNonZero {
+			if segNonZero[c] {
+				kept += int64(rowsInSeg) * cpw
+				segNonZero[c] = false
+			}
+		}
+	}
+	inSeg := 0
+	for r := 0; r < rows; r++ {
+		src.RowCodes(r, codes)
+		for c, code := range codes {
+			if code != 0 {
+				segNonZero[c] = true
+			}
+		}
+		inSeg++
+		if inSeg == segRows {
+			flush(inSeg)
+			inSeg = 0
+		}
+	}
+	if inSeg > 0 {
+		flush(inSeg)
+	}
+	return kept
+}

@@ -1,0 +1,194 @@
+package compress
+
+import (
+	"testing"
+
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/xrand"
+)
+
+// bruteGroupNonZero recomputes a group's non-zero rows directly from the
+// decomposed cells, independently of Build's streaming implementation.
+func bruteGroupNonZero(codes *CodeSource, p quant.Params, g mapping.Geometry, rb, cb, gi int) map[int]bool {
+	lay := mapping.NewLayout(codes.Rows, codes.Cols, p, g)
+	loRel, hiRel := lay.GroupCols(cb, gi)
+	lo := cb*g.XbarCols + loRel
+	hi := cb*g.XbarCols + hiRel
+	cpw := p.CellsPerWeight()
+	mask := uint32(1)<<uint(p.CellBits) - 1
+	out := map[int]bool{}
+	for r := rb * g.XbarRows; r < (rb+1)*g.XbarRows && r < codes.Rows; r++ {
+		for pc := lo; pc < hi; pc++ {
+			c, j := pc/cpw, pc%cpw
+			if codes.Codes[r*codes.Cols+c]>>uint(j*p.CellBits)&mask != 0 {
+				out[r%g.XbarRows] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestBuildMatchesBruteForce validates the streaming structure builder
+// against a direct cell-by-cell recomputation on randomized layers,
+// geometries, and quantizations.
+func TestBuildMatchesBruteForce(t *testing.T) {
+	r := xrand.New(42)
+	params := []quant.Params{
+		{WBits: 4, ABits: 4, CellBits: 2, DACBits: 1},
+		{WBits: 16, ABits: 16, CellBits: 2, DACBits: 1},
+		{WBits: 8, ABits: 8, CellBits: 4, DACBits: 1},
+		{WBits: 8, ABits: 8, CellBits: 8, DACBits: 1},
+	}
+	for trial := 0; trial < 12; trial++ {
+		p := params[trial%len(params)]
+		rows := 1 + r.Intn(70)
+		cols := 1 + r.Intn(12)
+		codes := &CodeSource{Rows: rows, Cols: cols, Codes: make([]uint32, rows*cols)}
+		for i := range codes.Codes {
+			if !r.Bernoulli(0.5) {
+				codes.Codes[i] = uint32(r.Intn(1 << uint(p.WBits)))
+			}
+		}
+		g := mapping.Geometry{
+			XbarRows: 8 + r.Intn(40),
+			XbarCols: 4 * (1 + r.Intn(10)),
+			SWL:      1 + r.Intn(8),
+		}
+		g.SBL = 1 + r.Intn(g.XbarCols)
+		s := Build(codes, p, g)
+		lay := s.Layout
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				for gi := 0; gi < lay.GroupsInTile(cb); gi++ {
+					want := bruteGroupNonZero(codes, p, g, rb, cb, gi)
+					got := s.GroupNonZeroRows(rb, cb, gi)
+					if got.Count() != len(want) {
+						t.Fatalf("trial %d (%d,%d,%d): %d rows, want %d",
+							trial, rb, cb, gi, got.Count(), len(want))
+					}
+					for row := range want {
+						if !got.Test(row) {
+							t.Fatalf("trial %d: row %d missing from group (%d,%d,%d)",
+								trial, row, rb, cb, gi)
+						}
+					}
+				}
+			}
+		}
+		// Cross-check Ideal cell count against direct counting.
+		var wantIdeal int64
+		mask := uint32(1)<<uint(p.CellBits) - 1
+		for _, code := range codes.Codes {
+			for j := 0; j < p.CellsPerWeight(); j++ {
+				if code>>uint(j*p.CellBits)&mask != 0 {
+					wantIdeal++
+				}
+			}
+		}
+		if got := s.CompressedCells(Ideal, 0); got != wantIdeal {
+			t.Fatalf("trial %d: ideal cells %d, want %d", trial, got, wantIdeal)
+		}
+	}
+}
+
+// TestPlanInvariants checks structural invariants of every scheme's plan
+// on random structures: rows ascending and within the tile; ORC keeps a
+// subset of Naive's rows, which keeps a subset of ReCom's (per column
+// block); Baseline keeps everything.
+func TestPlanInvariants(t *testing.T) {
+	r := xrand.New(7)
+	p := quant.Default()
+	for trial := 0; trial < 6; trial++ {
+		rows := 64 + r.Intn(200)
+		cols := 8 + r.Intn(24)
+		codes := &CodeSource{Rows: rows, Cols: cols, Codes: make([]uint32, rows*cols)}
+		for i := range codes.Codes {
+			if !r.Bernoulli(0.7) {
+				codes.Codes[i] = uint32(1 + r.Intn(1<<16-1))
+			}
+		}
+		g := mapping.Default()
+		s := Build(codes, p, g)
+		lay := s.Layout
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			tileRows := lay.TileRows(rb)
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				for gi := 0; gi < lay.GroupsInTile(cb); gi++ {
+					plans := map[Scheme]GroupPlan{}
+					for _, sc := range []Scheme{Baseline, Naive, ReCom, ORC} {
+						gp := s.Plan(sc, rb, cb, gi, 0)
+						plans[sc] = gp
+						for i, row := range gp.Rows {
+							if row < 0 || row >= tileRows {
+								t.Fatalf("%v: row %d outside tile", sc, row)
+							}
+							if i > 0 && gp.Rows[i-1] >= row {
+								t.Fatalf("%v: rows not ascending", sc)
+							}
+						}
+					}
+					if len(plans[Baseline].Rows) != tileRows {
+						t.Fatal("baseline must keep every row")
+					}
+					if !subset(plans[ORC].Rows, plans[Naive].Rows) {
+						t.Fatal("ORC must keep a subset of Naive's rows")
+					}
+					if !subset(plans[Naive].Rows, plans[ReCom].Rows) {
+						t.Fatal("Naive must keep a subset of ReCom's rows")
+					}
+				}
+			}
+		}
+	}
+}
+
+func subset(a, b []int) bool {
+	set := map[int]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaddingRowsAreValid: zero-padding fillers must stay inside the
+// tile and keep the row list strictly ascending.
+func TestPaddingRowsAreValid(t *testing.T) {
+	r := xrand.New(11)
+	p := quant.Default()
+	codes := &CodeSource{Rows: 256, Cols: 16, Codes: make([]uint32, 256*16)}
+	for i := range codes.Codes {
+		if r.Bernoulli(0.04) {
+			codes.Codes[i] = uint32(1 + r.Intn(1<<16-1))
+		}
+	}
+	s := Build(codes, p, mapping.Default())
+	lay := s.Layout
+	for _, bits := range []int{1, 2, 3, 5} {
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			tileRows := lay.TileRows(rb)
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				for gi := 0; gi < lay.GroupsInTile(cb); gi++ {
+					gp := s.Plan(ORC, rb, cb, gi, bits)
+					for i, row := range gp.Rows {
+						if row < 0 || row >= tileRows {
+							t.Fatalf("bits=%d: filler row %d outside tile of %d", bits, row, tileRows)
+						}
+						if i > 0 && gp.Rows[i-1] >= row {
+							t.Fatalf("bits=%d: padded rows not ascending", bits)
+						}
+					}
+					if gp.Fillers > len(gp.Rows) {
+						t.Fatal("filler count exceeds rows")
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,459 @@
+// Package core is the Sparse ReRAM Engine simulator — the paper's primary
+// contribution rendered as an OU-level event-accurate performance and
+// energy model.
+//
+// For every (layer, crossbar tile, input window, activation bit slice) it
+// counts the OU activations each sparsity mode needs:
+//
+//	Baseline        slices · Σ_groups ceil(mappedRows/S_WL), mappedRows
+//	                from the weight-compression plan (all rows for the
+//	                no-compression baseline; fewer for Naive/ReCom/ORC);
+//	DOF             per slice, only wordlines whose input bit is non-zero
+//	                occupy OU slots: ceil(popcount(mask ∩ groupRows)/S_WL);
+//	ORC+DOF         the same popcount restricted to the ORC-retained rows
+//	                of each column group (fillers included).
+//
+// Crossbar tiles run in parallel, each with its own 3-stage pipeline
+// (internal/pipeline); a layer's latency is the slowest tile's schedule
+// and the network's latency is the sum over layers. Energy counts every
+// OU activation, driven wordline, ADC conversion, eDRAM batch fetch (one
+// per batch for input-order-preserving modes, one per column group when
+// row compression reorders inputs — the Fig. 18 eDRAM effect), indexing
+// blocks, and leakage.
+//
+// Large layers use deterministic window sampling (Config.MaxWindows):
+// per-tile cycle and energy sums over the sampled windows scale by
+// windows/sampled before the cross-tile maximum is taken.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sre/internal/bitset"
+	"sre/internal/buffer"
+	"sre/internal/compress"
+	"sre/internal/energy"
+	"sre/internal/mapping"
+	"sre/internal/noc"
+	"sre/internal/pipeline"
+	"sre/internal/quant"
+	"sre/internal/reram"
+	"sre/internal/tensor"
+)
+
+// Mode names a sparsity-exploitation configuration from the paper's
+// evaluation (§6: baseline, naive, ReCom, ORC, DOF, ORC+DOF).
+type Mode struct {
+	Scheme compress.Scheme // weight compression
+	DOF    bool            // dynamic OU formation (activation sparsity)
+}
+
+// The evaluated modes.
+var (
+	ModeBaseline = Mode{compress.Baseline, false}
+	ModeNaive    = Mode{compress.Naive, false}
+	ModeReCom    = Mode{compress.ReCom, false}
+	ModeORC      = Mode{compress.ORC, false}
+	ModeDOF      = Mode{compress.Baseline, true}
+	ModeORCDOF   = Mode{compress.ORC, true}
+	// ModeOCC is the §4.1 column-compression alternative; it cannot
+	// combine with DOF (Fig. 10), which is why the paper's SRE uses ORC.
+	ModeOCC = Mode{compress.OCC, false}
+)
+
+func (m Mode) String() string {
+	switch {
+	case m.Scheme == compress.Baseline && !m.DOF:
+		return "baseline"
+	case m.Scheme == compress.Baseline && m.DOF:
+		return "dof"
+	case m.Scheme == compress.ORC && m.DOF:
+		return "orc+dof"
+	case m.DOF:
+		return m.Scheme.String() + "+dof"
+	default:
+		return m.Scheme.String()
+	}
+}
+
+// Config selects the simulated hardware and mode.
+type Config struct {
+	Geometry   mapping.Geometry
+	Quant      quant.Params
+	Mode       Mode
+	IndexBits  int // input-index width for row-compressing schemes (0 = unbounded)
+	MaxWindows int // per-layer window sampling cap (0 = simulate all)
+	Energy     energy.Config
+	NoC        noc.Config    // zero value disables interconnect accounting
+	Buffer     buffer.Config // zero value assumes the §5.3 one-cycle fetch
+}
+
+// DefaultConfig returns the Table 1 configuration in baseline mode.
+func DefaultConfig() Config {
+	return Config{
+		Geometry:   mapping.Default(),
+		Quant:      quant.Default(),
+		Mode:       ModeBaseline,
+		IndexBits:  5,
+		MaxWindows: 64,
+		Energy:     energy.Default(),
+		NoC:        noc.Default(),
+	}
+}
+
+// ADCBits returns the ADC resolution the OU height demands.
+func (c Config) ADCBits() int { return reram.ADCBitsFor(c.Geometry.SWL, c.Quant.CellBits) }
+
+// CycleTime returns the pipeline cycle in seconds.
+func (c Config) CycleTime() float64 { return c.Energy.SRECycle(c.ADCBits()) }
+
+// ActivationSource yields the quantized activation vector feeding a
+// layer's crossbar rows for each input sliding window.
+type ActivationSource interface {
+	// Windows returns how many sliding windows the layer processes.
+	Windows() int
+	// WindowCodes fills dst (length = layer rows) with window w's
+	// quantized activation codes.
+	WindowCodes(w int, dst []uint32)
+}
+
+// TensorSource adapts a real traced activation tensor (CHW) to an
+// ActivationSource via im2col, quantizing with a single per-layer scale.
+type TensorSource struct {
+	X              *tensor.Tensor
+	K, Stride, Pad int
+	ABits          int
+	scale          float64
+	wout, hout     int
+	buf            []float32
+}
+
+// NewTensorSource builds a source for a conv layer's traced input. For
+// FC layers pass K=0 (the whole tensor is the single window).
+func NewTensorSource(x *tensor.Tensor, k, stride, pad, abits int) *TensorSource {
+	ts := &TensorSource{X: x, K: k, Stride: stride, Pad: pad, ABits: abits}
+	ts.scale = quant.ScaleFor(float64(x.MaxAbs()), abits)
+	if k > 0 {
+		ts.hout = tensor.ConvOutputDim(x.Dim(1), k, stride, pad)
+		ts.wout = tensor.ConvOutputDim(x.Dim(2), k, stride, pad)
+		ts.buf = make([]float32, x.Dim(0)*k*k)
+	}
+	return ts
+}
+
+func (ts *TensorSource) Windows() int {
+	if ts.K == 0 {
+		return 1
+	}
+	return ts.hout * ts.wout
+}
+
+func (ts *TensorSource) WindowCodes(w int, dst []uint32) {
+	var vals []float32
+	if ts.K == 0 {
+		vals = ts.X.Data()
+	} else {
+		oy, ox := w/ts.wout, w%ts.wout
+		tensor.Im2ColWindow(ts.X, ts.K, ts.Stride, ts.Pad, oy, ox, ts.buf)
+		vals = ts.buf
+	}
+	if len(dst) != len(vals) {
+		panic(fmt.Sprintf("core: window codes length %d, layer rows %d", len(vals), len(dst)))
+	}
+	for i, v := range vals {
+		if v < 0 {
+			v = -v
+		}
+		dst[i] = quant.QuantizeUnsigned(float64(v), ts.ABits, ts.scale)
+	}
+}
+
+// Layer pairs one layer's compression structure with its activations.
+// OCC is only needed for the ModeOCC extension (compress.BuildOCC).
+type Layer struct {
+	Name   string
+	Struct *compress.Structure
+	OCC    *compress.OCCStructure
+	Acts   ActivationSource
+	// OutputBits is the layer's output feature-map size; when the config
+	// carries an interconnect, handing it to the next layer's PEs costs
+	// NoC energy (overlapped with compute, so no latency).
+	OutputBits int64
+	// ParallelGroup marks consecutive layers that run concurrently on
+	// disjoint crossbars (grouped convolutions): their latency is the
+	// maximum of the group, their energy the sum.
+	ParallelGroup string
+}
+
+// LayerResult reports one layer under one config.
+type LayerResult struct {
+	Name     string
+	Windows  int
+	Sampled  int
+	Cycles   int64 // slowest tile's pipelined schedule
+	Stalls   int64
+	OUEvents int64 // summed over all tiles (energy-relevant)
+	Fetches  int64
+	Time     float64 // seconds
+	Energy   energy.Breakdown
+}
+
+// NetworkResult aggregates layers.
+type NetworkResult struct {
+	Layers []LayerResult
+	Cycles int64
+	Time   float64
+	Energy energy.Breakdown
+}
+
+// Total satisfies common reporting.
+func (r NetworkResult) TotalOUEvents() int64 {
+	var n int64
+	for _, l := range r.Layers {
+		n += l.OUEvents
+	}
+	return n
+}
+
+// SimulateNetwork runs every layer and sums latency (layers execute
+// sequentially) and energy.
+func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
+	var out NetworkResult
+	for i := 0; i < len(layers); {
+		// A run of layers sharing a non-empty ParallelGroup executes
+		// concurrently: latency is the slowest member's; energy sums.
+		j := i + 1
+		if g := layers[i].ParallelGroup; g != "" {
+			for j < len(layers) && layers[j].ParallelGroup == g {
+				j++
+			}
+		}
+		var maxCycles int64
+		var maxTime float64
+		for k := i; k < j; k++ {
+			lr := SimulateLayer(layers[k], cfg)
+			lr.Energy.Interconnect = cfg.NoC.LayerHandoffEnergy(layers[k].OutputBits)
+			out.Layers = append(out.Layers, lr)
+			out.Energy.Add(lr.Energy)
+			if lr.Cycles > maxCycles {
+				maxCycles, maxTime = lr.Cycles, lr.Time
+			}
+		}
+		out.Cycles += maxCycles
+		out.Time += maxTime
+		i = j
+	}
+	return out
+}
+
+// SimulateLayer runs one layer under cfg.
+func SimulateLayer(l Layer, cfg Config) LayerResult {
+	if err := cfg.Quant.Validate(); err != nil {
+		panic(err)
+	}
+	st := l.Struct
+	lay := st.Layout
+	g := cfg.Geometry
+	if lay.SWL != g.SWL || lay.SBL != g.SBL || lay.XbarRows != g.XbarRows {
+		panic("core: structure was built with a different geometry")
+	}
+	adcBits := cfg.ADCBits()
+	cycleTime := cfg.CycleTime()
+	eCfg := cfg.Energy
+
+	windows := l.Acts.Windows()
+	sampled := windows
+	if cfg.MaxWindows > 0 && sampled > cfg.MaxWindows {
+		sampled = cfg.MaxWindows
+	}
+	scale := float64(windows) / float64(sampled)
+
+	// Precompute per-tile plans.
+	type tilePlan struct {
+		groupRows   [][]int       // retained rows per group (fillers included)
+		groupBits   []*bitset.Set // same as bitsets (for DOF intersection)
+		staticOUs   int64         // per-slice OU count without DOF
+		staticWL    int64         // per-slice driven wordlines without DOF
+		fetchGroups int           // eDRAM fetches per batch
+		fetchBits   int           // bits per fetch
+	}
+	reorders := cfg.Mode.Scheme != compress.Baseline
+	if cfg.Mode.Scheme == compress.OCC {
+		if cfg.Mode.DOF {
+			// Fig. 10: DOF over a column-compressed layout accumulates
+			// currents of different outputs on one bitline.
+			panic("core: OU-column compression cannot combine with DOF (paper Fig. 10)")
+		}
+		if l.OCC == nil {
+			panic("core: OCC mode needs Layer.OCC (compress.BuildOCC)")
+		}
+	}
+	plans := make([][]tilePlan, lay.RowBlocks)
+	for rb := 0; rb < lay.RowBlocks; rb++ {
+		plans[rb] = make([]tilePlan, lay.ColBlocks)
+		tileRows := lay.TileRows(rb)
+		for cb := 0; cb < lay.ColBlocks; cb++ {
+			tp := &plans[rb][cb]
+			nGroups := lay.GroupsInTile(cb)
+			if cfg.Mode.Scheme == compress.OCC {
+				// Column compression keeps every row mapped; the OU count
+				// per slice comes from the per-band retained columns.
+				tp.staticOUs = int64(l.OCC.OUsPerTileSlice(rb, cb))
+				tp.staticWL = tp.staticOUs * int64(g.SWL)
+				tp.fetchGroups = 1 // input order unchanged
+				tp.fetchBits = tileRows * cfg.Quant.ABits
+				continue
+			}
+			tp.groupRows = make([][]int, nGroups)
+			tp.groupBits = make([]*bitset.Set, nGroups)
+			for gi := 0; gi < nGroups; gi++ {
+				plan := st.Plan(cfg.Mode.Scheme, rb, cb, gi, cfg.IndexBits)
+				tp.groupRows[gi] = plan.Rows
+				bs := bitset.New(tileRows)
+				for _, r := range plan.Rows {
+					bs.Set(r)
+				}
+				tp.groupBits[gi] = bs
+				tp.staticOUs += int64(ceilDiv(len(plan.Rows), g.SWL))
+				tp.staticWL += int64(len(plan.Rows))
+			}
+			// ORC reorders inputs per column group, so every group issues
+			// its own batch fetch (paper §4.1, the Fig. 18 eDRAM effect);
+			// input-order-preserving modes fetch the batch once. Each
+			// fetch reads the full batch's buffer lines — gather happens
+			// at the IR, not inside the eDRAM.
+			if cfg.Mode.Scheme == compress.ORC {
+				tp.fetchGroups = nGroups
+			} else {
+				tp.fetchGroups = 1
+			}
+			tp.fetchBits = tileRows * cfg.Quant.ABits
+		}
+	}
+
+	spi := cfg.Quant.SlicesPerInput()
+	codes := make([]uint32, lay.Rows)
+	// Per-slice, per-row-block masks of non-zero input bits.
+	masks := make([][]*bitset.Set, spi)
+	for s := range masks {
+		masks[s] = make([]*bitset.Set, lay.RowBlocks)
+		for rb := range masks[s] {
+			masks[s][rb] = bitset.New(lay.TileRows(rb))
+		}
+	}
+
+	// Per-tile accumulators.
+	type tileAcc struct {
+		tracker  pipeline.Tracker
+		ouEvents int64
+		drivenWL int64
+		fetches  int64
+		fetchE   float64
+	}
+	accs := make([][]tileAcc, lay.RowBlocks)
+	for rb := range accs {
+		accs[rb] = make([]tileAcc, lay.ColBlocks)
+		if cfg.Buffer.Banks > 0 {
+			// An explicit buffer model may not sustain the §5.3
+			// one-cycle fetch; charge the fetch stage accordingly.
+			for cb := range accs[rb] {
+				tp := &plans[rb][cb]
+				totalBits := tp.fetchBits * tp.fetchGroups
+				fc := int64(1 + cfg.Buffer.StallCycles(totalBits, cycleTime))
+				accs[rb][cb].tracker.FetchCycles = fc
+			}
+		}
+	}
+
+	dacMask := uint32(1)<<uint(cfg.Quant.DACBits) - 1
+	for wi := 0; wi < sampled; wi++ {
+		w := wi * windows / sampled
+		l.Acts.WindowCodes(w, codes)
+		if cfg.Mode.DOF {
+			for s := 0; s < spi; s++ {
+				for rb := range masks[s] {
+					masks[s][rb].Reset()
+				}
+			}
+			for r, code := range codes {
+				if code == 0 {
+					continue
+				}
+				rb, tr := r/g.XbarRows, r%g.XbarRows
+				for s := 0; s < spi; s++ {
+					if code>>uint(s*cfg.Quant.DACBits)&dacMask != 0 {
+						masks[s][rb].Set(tr)
+					}
+				}
+			}
+		}
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				tp := &plans[rb][cb]
+				acc := &accs[rb][cb]
+				var batchOUs, batchWL int64
+				if !cfg.Mode.DOF {
+					batchOUs = tp.staticOUs * int64(spi)
+					batchWL = tp.staticWL * int64(spi)
+				} else {
+					for s := 0; s < spi; s++ {
+						mask := masks[s][rb]
+						if cfg.Mode.Scheme == compress.Baseline {
+							nz := mask.Count()
+							if nz == 0 {
+								continue
+							}
+							c := int64(ceilDiv(nz, g.SWL))
+							batchOUs += c * int64(len(tp.groupBits))
+							batchWL += int64(nz) * int64(len(tp.groupBits))
+						} else {
+							for _, gb := range tp.groupBits {
+								nz := mask.CountAnd(gb)
+								if nz == 0 {
+									continue
+								}
+								batchOUs += int64(ceilDiv(nz, g.SWL))
+								batchWL += int64(nz)
+							}
+						}
+					}
+				}
+				acc.tracker.Batch(batchOUs)
+				acc.ouEvents += batchOUs
+				acc.drivenWL += batchWL
+				acc.fetches += int64(tp.fetchGroups)
+				acc.fetchE += float64(tp.fetchGroups) * eCfg.FetchEnergy(tp.fetchBits)
+			}
+		}
+	}
+
+	// Aggregate: latency is the slowest tile; energy sums over tiles.
+	res := LayerResult{Name: l.Name, Windows: windows, Sampled: sampled}
+	ouBase := eCfg.OUBaseEnergy(g.SBL, adcBits)
+	wlE := eCfg.WordlineEnergy(adcBits)
+	var maxCycles, maxStalls int64
+	for rb := range accs {
+		for cb := range accs[rb] {
+			acc := &accs[rb][cb]
+			total, stalls := acc.tracker.Finish()
+			scaledCycles := int64(math.Round(float64(total) * scale))
+			if scaledCycles > maxCycles {
+				maxCycles, maxStalls = scaledCycles, int64(math.Round(float64(stalls)*scale))
+			}
+			res.OUEvents += int64(math.Round(float64(acc.ouEvents) * scale))
+			res.Fetches += int64(math.Round(float64(acc.fetches) * scale))
+			res.Energy.Compute += scale * (float64(acc.ouEvents)*ouBase + float64(acc.drivenWL)*wlE)
+			res.Energy.EDRAM += scale * acc.fetchE
+			tileTime := float64(total) * scale * cycleTime
+			res.Energy.Index += eCfg.IndexingEnergy(tileTime, reorders, cfg.Mode.DOF)
+			res.Energy.Leakage += eCfg.LeakageEnergy(tileTime)
+		}
+	}
+	res.Cycles = maxCycles
+	res.Stalls = maxStalls
+	res.Time = float64(maxCycles) * cycleTime
+	return res
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

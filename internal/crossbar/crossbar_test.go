@@ -1,0 +1,262 @@
+package crossbar
+
+import (
+	"testing"
+
+	"sre/internal/quant"
+	"sre/internal/reram"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+// randomMatrix builds a quantized magnitude matrix with the given zero
+// probability, returning it alongside random input codes.
+func randomMatrix(r *xrand.RNG, rows, cols int, p quant.Params, zeroProb float64) (*quant.Matrix, []uint32) {
+	w := tensor.New(rows, cols)
+	for i := range w.Data() {
+		if !r.Bernoulli(zeroProb) {
+			w.Data()[i] = float32(1+r.Intn(1<<uint(p.WBits)-1)) / float32(uint(1)<<uint(p.WBits)-1)
+		}
+	}
+	m := quant.QuantizeMatrix(w, p)
+	inputs := make([]uint32, rows)
+	for i := range inputs {
+		if !r.Bernoulli(0.4) {
+			inputs[i] = uint32(r.Intn(1 << uint(p.ABits)))
+		}
+	}
+	return m, inputs
+}
+
+// program maps a full cell matrix onto one array sized to fit it.
+func program(m *quant.Matrix) *Array {
+	cm := m.Decompose()
+	a := New(cm.Rows, cm.PhysCols)
+	a.ProgramWindow(cm, 0, 0)
+	return a
+}
+
+// TestFigure7OUComposition reproduces the Fig. 7 mechanism with the
+// paper's numbers: OU1 (rows 0–1) reads [1,0] under inputs [1,0]; OU2
+// (rows 2–3) reads [3,4] under inputs [1,1]; the shared bitlines add to
+// [4,4] — the value the whole column would have produced at once.
+func TestFigure7OUComposition(t *testing.T) {
+	a := New(4, 2)
+	// Rows 0-1 chosen so inputs [1,0] give [1,0]; rows 2-3 so [1,1] give [3,4].
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 0)
+	a.Set(1, 0, 3) // masked by zero input
+	a.Set(1, 1, 2)
+	a.Set(2, 0, 1)
+	a.Set(2, 1, 3)
+	a.Set(3, 0, 2)
+	a.Set(3, 1, 1)
+	drive := func(row int) uint16 { return []uint16{1, 0, 1, 1}[row] }
+	ou1 := a.ReadOU([]int{0, 1}, drive, 0, 2)
+	ou2 := a.ReadOU([]int{2, 3}, drive, 0, 2)
+	if ou1[0] != 1 || ou1[1] != 0 {
+		t.Fatalf("OU1 = %v, want [1 0]", ou1)
+	}
+	if ou2[0] != 3 || ou2[1] != 4 {
+		t.Fatalf("OU2 = %v, want [3 4]", ou2)
+	}
+	full := a.ReadOU([]int{0, 1, 2, 3}, drive, 0, 2)
+	if full[0] != ou1[0]+ou2[0] || full[1] != ou1[1]+ou2[1] {
+		t.Fatalf("OU partial sums %v+%v do not compose to %v", ou1, ou2, full)
+	}
+}
+
+// TestExecuteMatchesReference is the core functional property: OU-based
+// execution with any OU size equals the plain integer product.
+func TestExecuteMatchesReference(t *testing.T) {
+	r := xrand.New(1)
+	params := []quant.Params{
+		{WBits: 4, ABits: 2, CellBits: 2, DACBits: 1},
+		{WBits: 16, ABits: 16, CellBits: 2, DACBits: 1},
+		{WBits: 8, ABits: 8, CellBits: 4, DACBits: 2},
+	}
+	for _, p := range params {
+		for trial := 0; trial < 6; trial++ {
+			rows := 2 + r.Intn(20)
+			cols := 1 + r.Intn(6)
+			m, inputs := randomMatrix(r, rows, cols, p, 0.4)
+			a := program(m)
+			for _, sWL := range []int{1, 2, 4, 16} {
+				for _, sBL := range []int{2, 4, a.Cols} {
+					sched := DenseSchedule(a.Rows, a.Cols, sBL)
+					res := Execute(a, inputs, p, sWL, sched, false)
+					got := ComposeLogical(res.Phys, p)
+					want := ReferenceProduct(m, inputs)
+					for c := range want {
+						if got[c] != want[c] {
+							t.Fatalf("p=%+v sWL=%d sBL=%d col %d: got %d want %d",
+								p, sWL, sBL, c, got[c], want[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDOFPreservesResultsAndSavesCycles: Dynamic OU Formation must never
+// change the computed values and must never cost more cycles.
+func TestDOFPreservesResultsAndSavesCycles(t *testing.T) {
+	r := xrand.New(2)
+	p := quant.Params{WBits: 8, ABits: 8, CellBits: 2, DACBits: 1}
+	for trial := 0; trial < 10; trial++ {
+		rows := 4 + r.Intn(30)
+		cols := 1 + r.Intn(4)
+		m, inputs := randomMatrix(r, rows, cols, p, 0.5)
+		a := program(m)
+		sched := DenseSchedule(a.Rows, a.Cols, 4)
+		dense := Execute(a, inputs, p, 4, sched, false)
+		dof := Execute(a, inputs, p, 4, sched, true)
+		for c := range dense.Phys {
+			if dense.Phys[c] != dof.Phys[c] {
+				t.Fatalf("DOF changed result at col %d", c)
+			}
+		}
+		if dof.Cycles > dense.Cycles {
+			t.Fatalf("DOF used more cycles (%d > %d)", dof.Cycles, dense.Cycles)
+		}
+	}
+}
+
+func TestDOFSkipsAllZeroSlices(t *testing.T) {
+	p := quant.Params{WBits: 4, ABits: 4, CellBits: 2, DACBits: 1}
+	m, _ := randomMatrix(xrand.New(3), 8, 2, p, 0)
+	a := program(m)
+	inputs := make([]uint32, 8) // all zero
+	sched := DenseSchedule(a.Rows, a.Cols, 4)
+	res := Execute(a, inputs, p, 4, sched, true)
+	if res.Cycles != 0 {
+		t.Fatalf("all-zero input consumed %d cycles under DOF", res.Cycles)
+	}
+	dense := Execute(a, inputs, p, 4, sched, false)
+	// Dense mode pays full cost even for zero input: 4 slices × 1 group
+	// (4 phys cols / sBL 4) × 2 OUs (8 rows / sWL 4).
+	if dense.Cycles != 4*1*2 {
+		t.Fatalf("dense cycles = %d, want 8", dense.Cycles)
+	}
+}
+
+// TestORCScheduleCorrect: removing all-zero rows per column group (OU-row
+// compression) must preserve results exactly, because a zero cell row
+// contributes nothing to its group's bitlines.
+func TestORCScheduleCorrect(t *testing.T) {
+	r := xrand.New(4)
+	p := quant.Params{WBits: 8, ABits: 8, CellBits: 2, DACBits: 1}
+	for trial := 0; trial < 10; trial++ {
+		rows := 6 + r.Intn(24)
+		cols := 1 + r.Intn(4)
+		m, inputs := randomMatrix(r, rows, cols, p, 0.7)
+		a := program(m)
+		sBL := 4
+		// Build the ORC schedule: per group keep rows with any non-zero cell.
+		var sched Schedule
+		for lo := 0; lo < a.Cols; lo += sBL {
+			hi := lo + sBL
+			if hi > a.Cols {
+				hi = a.Cols
+			}
+			g := ColGroup{ColLo: lo, ColHi: hi}
+			for row := 0; row < a.Rows; row++ {
+				zero := true
+				for c := lo; c < hi; c++ {
+					if a.At(row, c) != 0 {
+						zero = false
+						break
+					}
+				}
+				if !zero {
+					g.Rows = append(g.Rows, row)
+				}
+			}
+			sched.Groups = append(sched.Groups, g)
+		}
+		res := Execute(a, inputs, p, 4, sched, false)
+		got := ComposeLogical(res.Phys, p)
+		want := ReferenceProduct(m, inputs)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("ORC broke col %d: got %d want %d", c, got[c], want[c])
+			}
+		}
+		denseRes := Execute(a, inputs, p, 4, DenseSchedule(a.Rows, a.Cols, sBL), false)
+		if res.Cycles > denseRes.Cycles {
+			t.Fatal("ORC used more cycles than dense")
+		}
+	}
+}
+
+// TestFigure10ColumnCompressionPlusDOFIsWrong demonstrates the paper's
+// Fig. 10 hazard. Emulate OU-column compression by packing two different
+// logical outputs onto the same bitline in different row blocks (block A:
+// rows 0–1 carry output X; block B: rows 2–3 carry output Y). DOF then
+// gathers rows from both blocks into one virtual OU and the bitline
+// accumulates X- and Y-currents together — the sum matches neither
+// output.
+func TestFigure10ColumnCompressionPlusDOFIsWrong(t *testing.T) {
+	a := New(4, 1)
+	a.Set(0, 0, 2) // output X weight
+	a.Set(1, 0, 1) // output X weight
+	a.Set(2, 0, 3) // output Y weight (column-compressed into the same bitline)
+	a.Set(3, 0, 1) // output Y weight
+	inputs := []uint32{1, 0, 1, 0}
+	p := quant.Params{WBits: 4, ABits: 1, CellBits: 4, DACBits: 1}
+	sched := Schedule{Groups: []ColGroup{{ColLo: 0, ColHi: 1, Rows: []int{0, 1, 2, 3}}}}
+	res := Execute(a, inputs, p, 2, sched, true)
+	wantX := uint64(2) // inputs[0]·2
+	wantY := uint64(3) // inputs[2]·3
+	if res.Phys[0] == wantX || res.Phys[0] == wantY {
+		t.Fatalf("expected a corrupted sum, got a correct output %d", res.Phys[0])
+	}
+	if res.Phys[0] != wantX+wantY {
+		t.Fatalf("accumulated %d, expected the conflated X+Y = %d", res.Phys[0], wantX+wantY)
+	}
+}
+
+func TestReadOUNoisyMatchesIdealWithZeroSigma(t *testing.T) {
+	r := xrand.New(5)
+	p := quant.Params{WBits: 4, ABits: 1, CellBits: 2, DACBits: 1}
+	m, _ := randomMatrix(r, 8, 2, p, 0.3)
+	a := program(m)
+	drive := func(row int) uint16 { return uint16(row % 2) }
+	cell := reram.Cell{Bits: 2, RRatio: 20, Sigma: 0}
+	rows := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ideal := a.ReadOU(rows, drive, 0, a.Cols)
+	noisy := a.ReadOUNoisy(rows, drive, 0, a.Cols, cell, r)
+	for i := range ideal {
+		if ideal[i] != noisy[i] {
+			t.Fatalf("zero-sigma noisy read differs at col %d", i)
+		}
+	}
+}
+
+func TestDenseCycleFormula(t *testing.T) {
+	p := quant.Params{WBits: 4, ABits: 8, CellBits: 2, DACBits: 2}
+	m, inputs := randomMatrix(xrand.New(6), 10, 3, p, 0.2)
+	a := program(m) // 10 rows × 6 phys cols
+	sched := DenseSchedule(a.Rows, a.Cols, 4)
+	res := Execute(a, inputs, p, 4, sched, false)
+	// slices = 4; groups = ceil(6/4) = 2; OUs per group = ceil(10/4) = 3.
+	if want := 4 * 2 * 3; res.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", res.Cycles, want)
+	}
+}
+
+func TestProgramWindowClipsOutOfRange(t *testing.T) {
+	p := quant.Params{WBits: 4, ABits: 4, CellBits: 2, DACBits: 1}
+	m, _ := randomMatrix(xrand.New(7), 4, 2, p, 0)
+	cm := m.Decompose()
+	a := New(8, 8) // larger than the 4×4 cell matrix
+	a.ProgramWindow(cm, 2, 2)
+	// Source (2+r, 2+c) beyond cm bounds must be zero.
+	if a.At(7, 7) != 0 {
+		t.Fatal("out-of-range programming not zero-filled")
+	}
+	if a.At(0, 0) != cm.Cell(2, 2) {
+		t.Fatal("window offset applied wrongly")
+	}
+}

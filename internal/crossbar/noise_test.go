@@ -1,0 +1,121 @@
+package crossbar
+
+import (
+	"math"
+	"testing"
+
+	"sre/internal/quant"
+	"sre/internal/reram"
+	"sre/internal/xrand"
+)
+
+// TestChunkNoiseMatchesBitLevelMonteCarlo validates the semi-analytic
+// error-injection model the Fig. 5 experiment uses (reram.ChunkNoise)
+// against ground truth: executing the same dot product bit slice by bit
+// slice through the Monte-Carlo device/ADC channel (ReadOUNoisy) and
+// measuring the empirical error standard deviation of the reconstructed
+// integer product.
+func TestChunkNoiseMatchesBitLevelMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo")
+	}
+	p := quant.Params{WBits: 8, ABits: 8, CellBits: 2, DACBits: 1}
+	cell := reram.Cell{Bits: 2, RRatio: 20, Sigma: 0.06} // noisy enough to measure
+	rng := xrand.New(77)
+
+	const (
+		rows   = 32
+		n      = 8 // chunk height (concurrently read wordlines)
+		trials = 400
+	)
+	// One logical column; cells uniform over all states so meanState
+	// matches the analytic parameter exactly.
+	cpw := p.CellsPerWeight()
+	arr := New(rows, cpw)
+	var stateSum float64
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cpw; c++ {
+			s := uint16(rng.Intn(4))
+			arr.Set(r, c, s)
+			stateSum += float64(s)
+		}
+	}
+	meanState := stateSum / float64(rows*cpw)
+
+	// Inputs with independent Bernoulli(density) bits per slice, so the
+	// per-slice driven count is statistically uniform.
+	const density = 0.5
+	inputs := make([]uint32, rows)
+	for i := range inputs {
+		var code uint32
+		for b := 0; b < p.ABits; b++ {
+			if rng.Bernoulli(density) {
+				code |= 1 << uint(b)
+			}
+		}
+		inputs[i] = code
+	}
+
+	// Exact integer product of the composed weights with the inputs.
+	codes := make([]uint32, rows)
+	for r := 0; r < rows; r++ {
+		var q uint32
+		for j := 0; j < cpw; j++ {
+			q |= uint32(arr.At(r, j)) << uint(j*p.CellBits)
+		}
+		codes[r] = q
+	}
+	var exact float64
+	for r := 0; r < rows; r++ {
+		exact += float64(inputs[r]) * float64(codes[r])
+	}
+
+	spi := p.SlicesPerInput()
+	chunkRows := func(lo int) []int {
+		var out []int
+		for r := lo; r < lo+n && r < rows; r++ {
+			out = append(out, r)
+		}
+		return out
+	}
+	var sumSq float64
+	for trial := 0; trial < trials; trial++ {
+		var got float64
+		for lo := 0; lo < rows; lo += n {
+			active := chunkRows(lo)
+			for si := 0; si < spi; si++ {
+				drive := func(row int) uint16 {
+					return uint16(inputs[row] >> uint(si) & 1)
+				}
+				part := arr.ReadOUNoisy(active, drive, 0, cpw, cell, rng)
+				for j, v := range part {
+					got += float64(v) * math.Pow(2, float64(si+j*p.CellBits))
+				}
+			}
+		}
+		d := got - exact
+		sumSq += d * d
+	}
+	empirical := math.Sqrt(sumSq / trials)
+
+	cn := reram.ChunkNoise{
+		Cell:           cell,
+		SlicesPerInput: spi,
+		CellsPerWeight: cpw,
+		DACBits:        p.DACBits,
+		CellBits:       p.CellBits,
+		MeanState:      meanState,
+		Density:        density,
+	}
+	chunks := float64((rows + n - 1) / n)
+	analytic := cn.Std(n, 1, 1) * math.Sqrt(chunks)
+
+	if empirical == 0 {
+		t.Fatal("Monte-Carlo produced no errors; raise sigma")
+	}
+	ratio := empirical / analytic
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("bit-level MC std %.1f vs analytic %.1f (ratio %.2f)",
+			empirical, analytic, ratio)
+	}
+}

@@ -1,0 +1,159 @@
+// Package dataset generates deterministic synthetic labelled image sets.
+//
+// The paper evaluates on MNIST, CIFAR-10 and ILSVRC-2012. We cannot ship
+// those datasets, and the reproduction does not need them: every measured
+// quantity depends on *zero structure*, not on what the images depict
+// (DESIGN.md §2). What the Fig. 5 accuracy experiment does need is a
+// classification task that (a) a LeNet-scale network can really learn,
+// and (b) degrades when ReRAM read errors corrupt partial sums. Each
+// class here is a smooth random template; samples are the template plus
+// a random spatial shift and pixel noise, which gives exactly that.
+package dataset
+
+import (
+	"fmt"
+
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+// Set is a labelled dataset.
+type Set struct {
+	Name    string
+	Classes int
+	X       []*tensor.Tensor // CHW images in [0, 1]
+	Y       []int            // labels in [0, Classes)
+}
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Name     string
+	Channels int
+	Size     int // spatial H = W
+	Classes  int
+	Train    int // number of training samples
+	Test     int // number of test samples
+	Noise    float64
+	MaxShift int
+	Seed     uint64
+}
+
+// MNISTLike returns a config resembling MNIST geometry (1×28×28, 10
+// classes).
+func MNISTLike() Config {
+	return Config{Name: "mnist-like", Channels: 1, Size: 28, Classes: 10,
+		Train: 2000, Test: 500, Noise: 0.08, MaxShift: 2, Seed: 1009}
+}
+
+// CIFARLike returns a config resembling CIFAR-10 geometry (3×32×32).
+func CIFARLike() Config {
+	return Config{Name: "cifar-like", Channels: 3, Size: 32, Classes: 10,
+		Train: 2000, Test: 500, Noise: 0.10, MaxShift: 2, Seed: 2003}
+}
+
+// Generate builds the train and test sets for cfg. Templates are shared
+// between the splits; samples differ by shift and noise, so a classifier
+// must generalize rather than memorize.
+func Generate(cfg Config) (train, test *Set) {
+	root := xrand.New(cfg.Seed)
+	templates := make([]*tensor.Tensor, cfg.Classes)
+	for c := range templates {
+		templates[c] = makeTemplate(root.Split(fmt.Sprintf("template-%d", c)), cfg)
+	}
+	train = sample(cfg, templates, root.Split("train"), cfg.Train, cfg.Name+"/train")
+	test = sample(cfg, templates, root.Split("test"), cfg.Test, cfg.Name+"/test")
+	return train, test
+}
+
+// makeTemplate builds one class's smooth random pattern: a few random
+// Gaussian bumps per channel, normalized to [0, 1].
+func makeTemplate(r *xrand.RNG, cfg Config) *tensor.Tensor {
+	t := tensor.New(cfg.Channels, cfg.Size, cfg.Size)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		nBumps := 3 + r.Intn(3)
+		type bump struct{ cy, cx, s, a float64 }
+		bumps := make([]bump, nBumps)
+		for i := range bumps {
+			bumps[i] = bump{
+				cy: r.Float64() * float64(cfg.Size),
+				cx: r.Float64() * float64(cfg.Size),
+				s:  2 + r.Float64()*float64(cfg.Size)/4,
+				a:  0.5 + r.Float64(),
+			}
+		}
+		var maxV float64
+		vals := make([]float64, cfg.Size*cfg.Size)
+		for y := 0; y < cfg.Size; y++ {
+			for x := 0; x < cfg.Size; x++ {
+				v := 0.0
+				for _, b := range bumps {
+					dy, dx := float64(y)-b.cy, float64(x)-b.cx
+					v += b.a * gauss((dy*dy+dx*dx)/(2*b.s*b.s))
+				}
+				vals[y*cfg.Size+x] = v
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+		for i, v := range vals {
+			t.Data()[ch*cfg.Size*cfg.Size+i] = float32(v / maxV)
+		}
+	}
+	return t
+}
+
+// gauss approximates exp(-x) cheaply and monotonically for x >= 0.
+func gauss(x float64) float64 { return 1 / (1 + x + 0.5*x*x) }
+
+func sample(cfg Config, templates []*tensor.Tensor, r *xrand.RNG, n int, name string) *Set {
+	s := &Set{Name: name, Classes: cfg.Classes}
+	for i := 0; i < n; i++ {
+		c := i % cfg.Classes // balanced classes
+		dy := r.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+		dx := r.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+		img := shift(templates[c], dy, dx)
+		d := img.Data()
+		for j := range d {
+			v := float64(d[j]) + r.NormFloat64()*cfg.Noise
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			d[j] = float32(v)
+		}
+		s.X = append(s.X, img)
+		s.Y = append(s.Y, c)
+	}
+	return s
+}
+
+// shift translates a CHW image by (dy, dx), zero-filling exposed borders.
+func shift(t *tensor.Tensor, dy, dx int) *tensor.Tensor {
+	c, h, w := t.Dim(0), t.Dim(1), t.Dim(2)
+	out := tensor.New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			sy := y - dy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sx := x - dx
+				if sx < 0 || sx >= w {
+					continue
+				}
+				out.Set(t.At(ci, sy, sx), ci, y, x)
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.X) }

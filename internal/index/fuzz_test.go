@@ -1,0 +1,63 @@
+package index
+
+import "testing"
+
+// FuzzEncodeDecode checks the index codec round-trip on arbitrary gap
+// sequences and widths: Encode must either reject the input or produce a
+// stream Decode inverts exactly (fillers included), with every original
+// row present and bounded storage.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add([]byte{1, 3, 9}, uint8(2))
+	f.Add([]byte{0, 1, 2, 3}, uint8(1))
+	f.Add([]byte{255}, uint8(5))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, gaps []byte, bitsRaw uint8) {
+		bits := int(bitsRaw%8) + 1
+		if len(gaps) > 512 {
+			return
+		}
+		// Build a strictly ascending row list from the gap bytes.
+		rows := make([]int, 0, len(gaps))
+		cur := -1
+		for _, g := range gaps {
+			cur += int(g) + 1
+			rows = append(rows, cur)
+		}
+		e, err := Encode(rows, bits)
+		if err != nil {
+			t.Fatalf("rejected valid ascending rows: %v", err)
+		}
+		decoded := Decode(e.Codes, bits)
+		if len(decoded) != len(e.Rows) {
+			t.Fatal("decode length mismatch")
+		}
+		for i := range decoded {
+			if decoded[i] != e.Rows[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+			if decoded[i] >= (1<<30) || decoded[i] < 0 {
+				t.Fatal("decoded index out of range")
+			}
+			if i > 0 && decoded[i] <= decoded[i-1] {
+				t.Fatal("decoded rows not strictly ascending")
+			}
+		}
+		// Every original row survives encoding.
+		j := 0
+		for _, want := range rows {
+			for j < len(decoded) && decoded[j] != want {
+				j++
+			}
+			if j == len(decoded) {
+				t.Fatalf("row %d lost in encoding", want)
+			}
+		}
+		// Width-limited decoder agrees.
+		got := DecoderModel{Width: 8}.Run(e.Codes)
+		for i := range got.Rows {
+			if got.Rows[i] != decoded[i] {
+				t.Fatal("hardware decoder model diverges")
+			}
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sre/internal/bitset"
+	"sre/internal/xrand"
+)
+
+// TestFigure12Example reproduces the paper's Fig. 12 worked example:
+// non-zero rows {1,3,9} encoded with 2-bit codes require a filler zero
+// row at index 7.
+func TestFigure12Example(t *testing.T) {
+	e, err := Encode([]int{1, 3, 9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []int{1, 3, 7, 9}
+	if len(e.Rows) != len(wantRows) {
+		t.Fatalf("rows = %v, want %v", e.Rows, wantRows)
+	}
+	for i := range wantRows {
+		if e.Rows[i] != wantRows[i] {
+			t.Fatalf("rows = %v, want %v", e.Rows, wantRows)
+		}
+	}
+	if e.Filler != 1 {
+		t.Fatalf("fillers = %d, want 1", e.Filler)
+	}
+	// Raw deltas 2,2,4,2 are stored minus one: 1,1,3,1.
+	wantCodes := []uint32{1, 1, 3, 1}
+	for i := range wantCodes {
+		if e.Codes[i] != wantCodes[i] {
+			t.Fatalf("codes = %v, want %v", e.Codes, wantCodes)
+		}
+	}
+}
+
+func TestFigure12WideCodesNeedNoPadding(t *testing.T) {
+	// With enough bits (raw delta ≤ 8 fits in 3 bits), no filler appears.
+	e, err := Encode([]int{1, 3, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Filler != 0 || len(e.Rows) != 3 {
+		t.Fatalf("unexpected padding: %+v", e)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := xrand.New(1)
+	f := func(seed uint32, bitsRaw uint8) bool {
+		rr := r.Split(string(rune(seed)))
+		bits := 1 + int(bitsRaw%6)
+		n := 1 + rr.Intn(200)
+		k := 1 + rr.Intn(n)
+		rows := rr.SampleK(k, n)
+		e, err := Encode(rows, bits)
+		if err != nil {
+			return false
+		}
+		decoded := Decode(e.Codes, bits)
+		if len(decoded) != len(e.Rows) {
+			return false
+		}
+		// Decoded rows (with fillers) must be a superset of the original
+		// rows, strictly ascending, and code count must match.
+		for i := range decoded {
+			if decoded[i] != e.Rows[i] {
+				return false
+			}
+			if i > 0 && decoded[i] <= decoded[i-1] {
+				return false
+			}
+		}
+		// Every original row survives.
+		j := 0
+		for _, want := range rows {
+			for j < len(decoded) && decoded[j] != want {
+				j++
+			}
+			if j == len(decoded) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, err := Encode([]int{3, 3}, 4); err == nil {
+		t.Fatal("accepted duplicate rows")
+	}
+	if _, err := Encode([]int{5, 2}, 4); err == nil {
+		t.Fatal("accepted descending rows")
+	}
+	if _, err := Encode([]int{-1}, 4); err == nil {
+		t.Fatal("accepted negative row")
+	}
+	if _, err := Encode([]int{1}, 0); err == nil {
+		t.Fatal("accepted zero-width codes")
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	e, err := Encode(nil, 3)
+	if err != nil || len(e.Codes) != 0 || e.StorageBits() != 0 {
+		t.Fatalf("empty encode: %+v err %v", e, err)
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	e, _ := Encode([]int{1, 3, 9}, 2)
+	if e.StorageBits() != 4*2 {
+		t.Fatalf("storage = %d bits", e.StorageBits())
+	}
+}
+
+func TestNarrowCodesTradeStorageForFillers(t *testing.T) {
+	// The paper's tradeoff: fewer index bits → more fillers (worse
+	// compression) but fewer bits per entry.
+	rows := []int{0, 30, 60, 90, 120}
+	e2, _ := Encode(rows, 2)
+	e5, _ := Encode(rows, 5)
+	if e2.Filler <= e5.Filler {
+		t.Fatalf("narrow codes should pad more: %d vs %d", e2.Filler, e5.Filler)
+	}
+	if e5.Filler != 0 {
+		t.Fatalf("5-bit codes span 32 rows; no filler expected, got %d", e5.Filler)
+	}
+}
+
+// TestDecoderModelMatchesDecode: the width-limited Hillis–Steele model
+// must produce the same indexes as the plain sequential decode.
+func TestDecoderModelMatchesDecode(t *testing.T) {
+	r := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(300)
+		codes := make([]uint32, n)
+		for i := range codes {
+			codes[i] = uint32(r.Intn(32))
+		}
+		for _, width := range []int{1, 2, 8, 16} {
+			got := DecoderModel{Width: width}.Run(codes)
+			want := Decode(codes, 5)
+			if len(got.Rows) != len(want) {
+				t.Fatalf("width %d: length mismatch", width)
+			}
+			for i := range want {
+				if got.Rows[i] != want[i] {
+					t.Fatalf("width %d idx %d: %d != %d", width, i, got.Rows[i], want[i])
+				}
+			}
+			if wantPasses := (n + width - 1) / width; got.Passes != wantPasses {
+				t.Fatalf("width %d: passes = %d, want %d", width, got.Passes, wantPasses)
+			}
+		}
+	}
+}
+
+func TestDecoderStages(t *testing.T) {
+	// Width-8 Hillis–Steele needs 3 adder stages (paper's Fig. 14).
+	res := DecoderModel{Width: 8}.Run([]uint32{1, 2, 3})
+	if res.Stages != 3 {
+		t.Fatalf("stages = %d, want 3", res.Stages)
+	}
+}
+
+// TestWLVGMatchesPaperCondition checks the Fig. 15 semantics: cycle c
+// activates masked wordlines whose prefix count falls in the c-th S_WL
+// window, and the union over cycles is exactly the mask.
+func TestWLVGMatchesPaperCondition(t *testing.T) {
+	r := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + r.Intn(128)
+		mask := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.4) {
+				mask.Set(i)
+			}
+		}
+		sWL := 1 + r.Intn(8)
+		g := WordlineVectorGenerator{SWL: sWL}
+		vecs := g.Vectors(mask)
+		if len(vecs) != g.Cycles(mask.Count()) {
+			t.Fatalf("vector count %d != Cycles %d", len(vecs), g.Cycles(mask.Count()))
+		}
+		prefix := 0
+		union := bitset.New(n)
+		for ci, v := range vecs {
+			cnt := v.Count()
+			if cnt == 0 || cnt > sWL {
+				t.Fatalf("cycle %d activates %d wordlines (S_WL=%d)", ci, cnt, sWL)
+			}
+			if ci < len(vecs)-1 && cnt != sWL {
+				t.Fatalf("non-final cycle %d underfilled: %d < %d", ci, cnt, sWL)
+			}
+			for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+				if !mask.Test(i) {
+					t.Fatalf("cycle %d activated an unmasked wordline %d", ci, i)
+				}
+				prefix++
+				// Paper condition: 1 + ci·S_WL ≤ prefix < 1 + (ci+1)·S_WL.
+				if prefix < 1+ci*sWL || prefix >= 1+(ci+1)*sWL {
+					t.Fatalf("wordline %d in wrong cycle %d (prefix %d)", i, ci, prefix)
+				}
+				union.Set(i)
+			}
+		}
+		if union.Count() != mask.Count() {
+			t.Fatal("cycles do not cover the mask exactly")
+		}
+	}
+}
+
+func TestWLVGEmptyMask(t *testing.T) {
+	g := WordlineVectorGenerator{SWL: 4}
+	if len(g.Vectors(bitset.New(16))) != 0 {
+		t.Fatal("empty mask should need zero cycles")
+	}
+	if g.Cycles(0) != 0 {
+		t.Fatal("Cycles(0) != 0")
+	}
+}
+
+func TestWLVGCycleCeiling(t *testing.T) {
+	g := WordlineVectorGenerator{SWL: 16}
+	if g.Cycles(1) != 1 || g.Cycles(16) != 1 || g.Cycles(17) != 2 {
+		t.Fatal("ceil division wrong")
+	}
+}

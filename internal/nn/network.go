@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+
+	"sre/internal/tensor"
+)
+
+// Network is a feed-forward stack of layers with a fixed input shape.
+type Network struct {
+	NetName string
+	InShape Shape
+	Layers  []Layer
+}
+
+// Forward evaluates the network. tr (optional) records the activations
+// that reach every matrix layer, in execution order.
+func (n *Network) Forward(x *tensor.Tensor, tr *Trace) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, tr)
+	}
+	return x
+}
+
+// OutShape returns the network's output shape.
+func (n *Network) OutShape() Shape {
+	s := n.InShape
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+	}
+	return s
+}
+
+// LayerKind distinguishes the two matrix-layer geometries.
+type LayerKind int
+
+const (
+	KindConv LayerKind = iota
+	KindFC
+)
+
+func (k LayerKind) String() string {
+	if k == KindConv {
+		return "conv"
+	}
+	return "fc"
+}
+
+// LayerInfo describes one matrix layer as the crossbar mapper sees it.
+type LayerInfo struct {
+	Path           string      // hierarchical name, e.g. "inception(3a)/conv3x128"
+	Layer          MatrixLayer // the layer itself
+	Kind           LayerKind
+	In             Shape // activation shape reaching the layer
+	Rows           int   // weight-matrix rows (Cin·K·K or FC inputs)
+	Cols           int   // weight-matrix columns (Cout or FC outputs)
+	Windows        int   // sliding windows per inference (1 for FC)
+	K, Stride, Pad int   // conv geometry (K=0 for FC)
+	// ParallelGroup names a set of sibling layers that execute
+	// concurrently on disjoint crossbars (the groups of a grouped
+	// convolution); empty means the layer runs in sequence.
+	ParallelGroup string
+}
+
+// MACs returns the layer's multiply-accumulate count per inference.
+func (li LayerInfo) MACs() int64 {
+	return int64(li.Rows) * int64(li.Cols) * int64(li.Windows)
+}
+
+// MatrixLayerInfos enumerates every matrix layer with the activation
+// shape that reaches it, in the exact order Forward records them in a
+// Trace. This runs pure shape propagation — no tensor math — so it is
+// cheap even for ImageNet-scale networks.
+func (n *Network) MatrixLayerInfos() []LayerInfo {
+	var infos []LayerInfo
+	s := n.InShape
+	for _, l := range n.Layers {
+		s = walk(l, s, "", &infos)
+	}
+	return infos
+}
+
+// walk mirrors each layer's Forward: it visits contained matrix layers in
+// trace order and returns the output shape.
+func walk(l Layer, in Shape, prefix string, infos *[]LayerInfo) Shape {
+	switch v := l.(type) {
+	case *Conv:
+		out := v.OutShape(in)
+		*infos = append(*infos, LayerInfo{
+			Path: prefix + v.Name(), Layer: v, Kind: KindConv, In: in,
+			Rows: v.Cin * v.K * v.K, Cols: v.Cout, Windows: out[1] * out[2],
+			K: v.K, Stride: v.Stride, Pad: v.Pad,
+		})
+		return out
+	case *FC:
+		*infos = append(*infos, LayerInfo{
+			Path: prefix + v.Name(), Layer: v, Kind: KindFC, In: in,
+			Rows: v.In, Cols: v.Out, Windows: 1,
+		})
+		return v.OutShape(in)
+	case *GroupedConv:
+		p := prefix + v.Name() + "/"
+		out := in
+		for _, c := range v.Convs {
+			before := len(*infos)
+			out = walk(c, Shape{in[0] / v.Groups, in[1], in[2]}, p, infos)
+			for i := before; i < len(*infos); i++ {
+				(*infos)[i].ParallelGroup = p
+			}
+		}
+		return Shape{out[0] * v.Groups, out[1], out[2]}
+	case *Inception:
+		p := prefix + v.Name() + "/"
+		walk(v.B1, in, p, infos)
+		r2 := walk(v.B2Reduce, in, p, infos)
+		walk(v.B2, r2, p, infos)
+		r3 := walk(v.B3Reduce, in, p, infos)
+		walk(v.B3, r3, p, infos)
+		walk(v.PoolProj, v.pool.OutShape(in), p, infos)
+		return v.OutShape(in)
+	case *Residual:
+		p := prefix + v.Name() + "/"
+		s1 := walk(v.C1, in, p, infos)
+		s2 := walk(v.C2, s1, p, infos)
+		out := walk(v.C3, s2, p, infos)
+		if v.Proj != nil {
+			walk(v.Proj, in, p, infos)
+		}
+		return out
+	default:
+		return l.OutShape(in)
+	}
+}
+
+// Validate checks that shapes propagate cleanly end to end and returns
+// the output shape.
+func (n *Network) Validate() (out Shape, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nn: %s: %v", n.NetName, r)
+		}
+	}()
+	out = n.OutShape()
+	return out, nil
+}
+
+// WeightCount returns the total number of weight parameters in matrix
+// layers.
+func (n *Network) WeightCount() int64 {
+	var total int64
+	for _, li := range n.MatrixLayerInfos() {
+		total += int64(li.Rows) * int64(li.Cols)
+	}
+	return total
+}
+
+// WeightSparsity returns the fraction of exactly-zero weights over all
+// matrix layers.
+func (n *Network) WeightSparsity() float64 {
+	var zero, total int64
+	for _, li := range n.MatrixLayerInfos() {
+		w := weightData(li.Layer)
+		total += int64(len(w))
+		for _, v := range w {
+			if v == 0 {
+				zero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(zero) / float64(total)
+}
+
+// weightData returns the raw weight storage of a matrix layer.
+func weightData(l MatrixLayer) []float32 {
+	switch v := l.(type) {
+	case *Conv:
+		return v.W.Data()
+	case *FC:
+		return v.W.Data()
+	default:
+		panic("nn: unknown matrix layer type")
+	}
+}

@@ -1,0 +1,101 @@
+// Package noc models the on-chip interconnect of the accelerator (paper
+// Table 1: routers with 32-bit flits, 8 ports, one router per 4 PEs,
+// 42 mW; 168 PEs per chip). Between layers, output feature maps travel
+// from producing PEs to the PEs holding the next layer's weights; the
+// packages turns those transfers into flit·hop counts and energy. The
+// paper (like ISAAC) overlaps transfers with computation, so the
+// interconnect contributes energy but not latency.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes the mesh.
+type Config struct {
+	Routers          int     // routers on the chip (168 PEs / 4 per router = 42)
+	FlitBits         int     // flit width (Table 1: 32)
+	EnergyPerFlitHop float64 // J for one flit crossing one router
+}
+
+// Default derives the paper's design point: a 42-router mesh whose
+// per-flit-hop energy comes from the router's 42 mW at the 1.2 GHz PE
+// clock spread over its 8 ports.
+func Default() Config {
+	return Config{
+		Routers:          42,
+		FlitBits:         32,
+		EnergyPerFlitHop: 42e-3 / 1.2e9 / 8,
+	}
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Routers <= 0:
+		return fmt.Errorf("noc: non-positive router count")
+	case c.FlitBits <= 0:
+		return fmt.Errorf("noc: non-positive flit width")
+	case c.EnergyPerFlitHop < 0:
+		return fmt.Errorf("noc: negative flit-hop energy")
+	}
+	return nil
+}
+
+// Enabled reports whether the config carries a real mesh (the zero value
+// disables interconnect accounting).
+func (c Config) Enabled() bool { return c.Routers > 0 && c.FlitBits > 0 }
+
+// MeshSide returns the side of the (near-)square router mesh.
+func (c Config) MeshSide() int {
+	return int(math.Ceil(math.Sqrt(float64(c.Routers))))
+}
+
+// Hops returns the XY-routing hop count between routers a and b
+// (identified by their index in row-major mesh order).
+func (c Config) Hops(a, b int) int {
+	side := c.MeshSide()
+	ax, ay := a%side, a/side
+	bx, by := b%side, b/side
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AvgHops returns the mean XY distance between two uniformly random
+// routers of an n×n mesh, ≈ 2n/3 — the standard uniform-traffic estimate.
+func (c Config) AvgHops() float64 {
+	side := float64(c.MeshSide())
+	return 2 * (side - 1.0/side) / 3
+}
+
+// Flits returns the flit count for a payload of `bits`.
+func (c Config) Flits(bits int64) int64 {
+	if bits <= 0 {
+		return 0
+	}
+	fb := int64(c.FlitBits)
+	return (bits + fb - 1) / fb
+}
+
+// TransferEnergy returns the energy of moving `bits` across `hops`
+// routers.
+func (c Config) TransferEnergy(bits int64, hops float64) float64 {
+	if !c.Enabled() || hops <= 0 {
+		return 0
+	}
+	return float64(c.Flits(bits)) * hops * c.EnergyPerFlitHop
+}
+
+// LayerHandoffEnergy returns the energy of a layer handing its output
+// feature map to the next layer's PEs at the uniform-traffic average
+// distance.
+func (c Config) LayerHandoffEnergy(outputBits int64) float64 {
+	return c.TransferEnergy(outputBits, c.AvgHops())
+}

@@ -1,0 +1,108 @@
+package noc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Fatal("default must be enabled")
+	}
+	// 42 routers → 7×7 mesh.
+	if c.MeshSide() != 7 {
+		t.Fatalf("mesh side %d", c.MeshSide())
+	}
+	// Per-flit-hop energy ≈ 4.4 pJ from 42 mW / 1.2 GHz / 8 ports.
+	if c.EnergyPerFlitHop < 3e-12 || c.EnergyPerFlitHop > 6e-12 {
+		t.Fatalf("flit-hop energy %v", c.EnergyPerFlitHop)
+	}
+}
+
+func TestZeroValueDisabled(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	if c.TransferEnergy(1<<20, 3) != 0 {
+		t.Fatal("disabled config must be free")
+	}
+}
+
+func TestHopsXY(t *testing.T) {
+	c := Default() // 7×7
+	if c.Hops(0, 0) != 0 {
+		t.Fatal("self distance")
+	}
+	// Router 0 is (0,0); router 48 is (6,6): 12 hops.
+	if got := c.Hops(0, 48); got != 12 {
+		t.Fatalf("corner distance %d, want 12", got)
+	}
+	// Symmetry.
+	if c.Hops(3, 17) != c.Hops(17, 3) {
+		t.Fatal("hops not symmetric")
+	}
+}
+
+func TestAvgHopsMatchesExhaustive(t *testing.T) {
+	c := Default()
+	side := c.MeshSide()
+	n := side * side
+	total := 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			total += c.Hops(a, b)
+		}
+	}
+	exact := float64(total) / float64(n*n)
+	if math.Abs(c.AvgHops()-exact) > 1e-9 {
+		t.Fatalf("AvgHops %v vs exhaustive %v", c.AvgHops(), exact)
+	}
+}
+
+func TestFlits(t *testing.T) {
+	c := Default()
+	if c.Flits(0) != 0 || c.Flits(-5) != 0 {
+		t.Fatal("non-positive payload must be free")
+	}
+	if c.Flits(1) != 1 || c.Flits(32) != 1 || c.Flits(33) != 2 {
+		t.Fatal("flit rounding wrong")
+	}
+}
+
+func TestTransferEnergyLinear(t *testing.T) {
+	c := Default()
+	e1 := c.TransferEnergy(1024, 2)
+	e2 := c.TransferEnergy(2048, 2)
+	e3 := c.TransferEnergy(1024, 4)
+	if math.Abs(e2-2*e1) > 1e-18 || math.Abs(e3-2*e1) > 1e-18 {
+		t.Fatal("transfer energy must be linear in flits and hops")
+	}
+}
+
+func TestLayerHandoffMagnitude(t *testing.T) {
+	c := Default()
+	// A 56×56×256 16-bit feature map ≈ 12.8 Mb → ~401k flits × ~4.4 hops
+	// × 4.4 pJ ≈ 8 µJ — small next to compute but non-zero.
+	e := c.LayerHandoffEnergy(56 * 56 * 256 * 16)
+	if e < 1e-7 || e > 1e-4 {
+		t.Fatalf("handoff energy %v J out of plausible range", e)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Routers: 0, FlitBits: 32},
+		{Routers: 4, FlitBits: 0},
+		{Routers: 4, FlitBits: 32, EnergyPerFlitHop: -1},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("accepted %+v", c)
+		}
+	}
+}

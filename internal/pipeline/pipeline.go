@@ -1,0 +1,83 @@
+// Package pipeline models SRE's per-crossbar execution pipeline (paper
+// §5.3, Fig. 16).
+//
+// Stages: index decode → eDRAM fetch + IR write → {OU compute → ADC →
+// S+A/OR write}. Decode and fetch each take one cycle per input batch and
+// run concurrently with the previous batch's OU computation, so in steady
+// state they are hidden — *unless* DOF collapses a batch to fewer OU
+// cycles than the prep latency (the extreme case being an all-zero batch
+// that needs no OU cycles at all), which stalls the compute stage. The
+// trailing ADC and S+A stages drain after the last OU cycle.
+package pipeline
+
+// Tracker schedules one crossbar's batches and accounts stalls. The zero
+// value is ready to use. FetchCycles overrides how many pipeline cycles
+// the eDRAM fetch stage needs per batch (0 means the paper's design
+// point of 1; internal/buffer computes larger values for undersized
+// buffers).
+type Tracker struct {
+	FetchCycles int64
+
+	decodeDone  int64 // cycle when the decode unit frees up
+	fetchDone   int64 // cycle when the last fetched batch landed in the IR
+	computeDone int64 // cycle when the compute stage finishes its work
+	stalls      int64
+	batches     int64
+	started     bool
+}
+
+// Batch feeds the tracker one input batch requiring ouCycles of OU
+// computation (possibly zero under DOF).
+func (t *Tracker) Batch(ouCycles int64) {
+	if ouCycles < 0 {
+		panic("pipeline: negative OU cycles")
+	}
+	fetchCycles := t.FetchCycles
+	if fetchCycles <= 0 {
+		fetchCycles = 1
+	}
+	t.batches++
+	// Decode and fetch units each process one batch per cycle (fetch may
+	// take longer on an undersized buffer), in order.
+	decodeStart := t.decodeDone
+	t.decodeDone = decodeStart + 1
+	fetchStart := t.decodeDone
+	if t.fetchDone > fetchStart {
+		fetchStart = t.fetchDone
+	}
+	t.fetchDone = fetchStart + fetchCycles
+	// Compute starts when the batch is in the IR and the previous batch
+	// left the OU stage.
+	start := t.fetchDone
+	if t.computeDone > start {
+		start = t.computeDone
+	}
+	if t.started && start > t.computeDone {
+		t.stalls += start - t.computeDone
+	}
+	t.computeDone = start + ouCycles
+	t.started = true
+}
+
+// drainCycles covers the trailing ADC and S+A/OR-write stages of the
+// final OU (Fig. 16's pipeline tail).
+const drainCycles = 2
+
+// Finish returns the total cycles consumed and the stall cycles observed.
+// A tracker with no batches reports zero.
+func (t *Tracker) Finish() (total, stalls int64) {
+	if t.batches == 0 {
+		return 0, 0
+	}
+	return t.computeDone + drainCycles, t.stalls
+}
+
+// Schedule is a convenience wrapper: run every batch through a fresh
+// tracker and report totals.
+func Schedule(ouCycles []int64) (total, stalls int64) {
+	var t Tracker
+	for _, c := range ouCycles {
+		t.Batch(c)
+	}
+	return t.Finish()
+}

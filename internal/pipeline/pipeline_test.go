@@ -1,0 +1,121 @@
+package pipeline
+
+import "testing"
+
+func TestEmpty(t *testing.T) {
+	total, stalls := Schedule(nil)
+	if total != 0 || stalls != 0 {
+		t.Fatal("empty schedule must be free")
+	}
+}
+
+func TestSingleBatch(t *testing.T) {
+	// Decode (1) + fetch (1) + 10 OU cycles + 2 drain.
+	total, stalls := Schedule([]int64{10})
+	if total != 14 {
+		t.Fatalf("total = %d, want 14", total)
+	}
+	if stalls != 0 {
+		t.Fatalf("stalls = %d", stalls)
+	}
+}
+
+func TestSteadyStateHidesPrep(t *testing.T) {
+	// Long batches: prep fully hidden, so N batches of C cycles cost
+	// 2 (fill) + N·C + 2 (drain).
+	batches := make([]int64, 10)
+	for i := range batches {
+		batches[i] = 16
+	}
+	total, stalls := Schedule(batches)
+	if total != 2+10*16+2 {
+		t.Fatalf("total = %d, want %d", total, 2+10*16+2)
+	}
+	if stalls != 0 {
+		t.Fatalf("steady state stalled %d cycles", stalls)
+	}
+}
+
+func TestAllZeroBatchesStall(t *testing.T) {
+	// Batches with zero OU work (fully skipped by DOF) are bounded by the
+	// fetch unit: one batch per cycle.
+	batches := make([]int64, 8)
+	total, stalls := Schedule(batches)
+	// Fetches complete at cycles 2,3,...,9; compute is instant; drain +2.
+	if total != 11 {
+		t.Fatalf("total = %d, want 11", total)
+	}
+	if stalls == 0 {
+		t.Fatal("expected stalls when compute outruns prep")
+	}
+}
+
+func TestMixedStallAccounting(t *testing.T) {
+	// A long batch followed by an empty one then a long one: the empty
+	// batch's successor is prep-bound only if compute caught up.
+	total1, _ := Schedule([]int64{100, 0, 100})
+	if total1 != 2+200+2 {
+		t.Fatalf("total = %d; zero batch behind a long batch must be free", total1)
+	}
+	// Leading zeros are not hidden.
+	total2, stalls2 := Schedule([]int64{0, 100})
+	if total2 != 3+100+2 {
+		t.Fatalf("total = %d, want 105", total2)
+	}
+	if stalls2 != 1 {
+		t.Fatalf("stalls = %d, want 1", stalls2)
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var tr Tracker
+	tr.Batch(-1)
+}
+
+func TestThroughputLowerBound(t *testing.T) {
+	// Total can never be less than ΣOU + fill + drain, nor less than
+	// batches + 1 + drain (prep throughput).
+	cases := [][]int64{
+		{1, 1, 1, 1},
+		{0, 0, 5, 0},
+		{3},
+		{0},
+	}
+	for _, c := range cases {
+		var sum int64
+		for _, v := range c {
+			sum += v
+		}
+		total, _ := Schedule(c)
+		if total < sum+4 && total < int64(len(c))+3 {
+			t.Fatalf("schedule %v: total %d below both bounds", c, total)
+		}
+	}
+}
+
+func TestFetchCyclesSlowPipeline(t *testing.T) {
+	// Slow fetch (4 cycles/batch) with short compute bursts: the fetch
+	// unit becomes the bottleneck and stalls accumulate.
+	fast, slow := Tracker{}, Tracker{FetchCycles: 4}
+	for i := 0; i < 10; i++ {
+		fast.Batch(2)
+		slow.Batch(2)
+	}
+	ft, fs := fast.Finish()
+	st, ss := slow.Finish()
+	if st <= ft {
+		t.Fatalf("slow fetch total %d not above fast %d", st, ft)
+	}
+	if ss <= fs {
+		t.Fatalf("slow fetch stalls %d not above fast %d", ss, fs)
+	}
+	// Throughput bound: 10 batches × 4 fetch cycles dominate.
+	if st < 40 {
+		t.Fatalf("total %d below the fetch throughput bound", st)
+	}
+}

@@ -1,0 +1,266 @@
+// Package prune produces the weight zero-structures the paper's
+// experiments depend on.
+//
+// The paper evaluates networks trained with SSL (structured sparsity
+// learning [45]) and, for Fig. 23, with SkimCaffe's GSL (unstructured,
+// per-layer-tuned). We cannot rerun Caffe training, but every measured
+// quantity depends only on where the zeros are (DESIGN.md §2), so this
+// package synthesizes those structures directly:
+//
+//   - SSL zeroes whole *weight-matrix rows* — the same filter pixel
+//     (ci, ky, kx) across every filter of the layer — plus whole filters
+//     (matrix columns), plus residual element-wise zeros. Row-structured
+//     zeros are exactly what ReCom/naive/ORC row compression can exploit.
+//   - GSL zeroes elements independently (magnitude-style), with per-layer
+//     rates; element zeros only align into removable OU rows by chance.
+//
+// Magnitude pruning of genuinely trained weights is also provided for the
+// small networks the repo really trains.
+package prune
+
+import (
+	"fmt"
+	"sort"
+
+	"sre/internal/nn"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+// Spec describes a synthetic zero structure for one layer.
+//
+// SSL produces zeros at several granularities at once: whole
+// weight-matrix rows (the same filter pixel across every filter), whole
+// filters (columns), row *segments* — a filter pixel zeroed across a
+// contiguous group of SegCols filters but not all of them — and leftover
+// element-wise zeros. Row segments are the structure that OU-row
+// compression exploits but whole-matrix-row schemes (ReCom) cannot.
+type Spec struct {
+	RowFrac  float64 // fraction of weight-matrix rows zeroed entirely
+	ColFrac  float64 // fraction of columns (filters / FC outputs) zeroed entirely
+	SegFrac  float64 // probability a (SegRows-row, SegCols-column block) is zeroed
+	SegCols  int     // segment width in logical columns (default 16)
+	SegRows  int     // segment height in rows (default 1; K·K groups whole channels)
+	ElemFrac float64 // independent zero probability among remaining elements
+}
+
+// segCols returns the effective segment width.
+func (s Spec) segCols() int {
+	if s.SegCols <= 0 {
+		return 16
+	}
+	return s.SegCols
+}
+
+// segRows returns the effective segment height.
+func (s Spec) segRows() int {
+	if s.SegRows <= 0 {
+		return 1
+	}
+	return s.SegRows
+}
+
+// Validate checks all fractions are probabilities.
+func (s Spec) Validate() error {
+	for _, f := range []float64{s.RowFrac, s.ColFrac, s.SegFrac, s.ElemFrac} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("prune: fraction %v outside [0,1]", f)
+		}
+	}
+	return nil
+}
+
+// TotalSparsity returns the expected overall zero fraction produced by
+// the spec (assuming no pre-existing zeros).
+func (s Spec) TotalSparsity() float64 {
+	keep := (1 - s.RowFrac) * (1 - s.ColFrac) * (1 - s.SegFrac) * (1 - s.ElemFrac)
+	return 1 - keep
+}
+
+// ElemFracFor returns the element-wise rate needed to reach the target
+// total sparsity given the structured fractions. It returns 0 if the
+// structured zeros alone already exceed the target.
+func ElemFracFor(target float64, structured ...float64) float64 {
+	keep := 1.0
+	for _, f := range structured {
+		keep *= 1 - f
+	}
+	if keep <= 0 {
+		return 0
+	}
+	e := 1 - (1-target)/keep
+	if e < 0 {
+		return 0
+	}
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// ApplyMatrix zeroes a rank-2 [R, C] weight matrix in place per spec.
+func ApplyMatrix(w *tensor.Tensor, spec Spec, rng *xrand.RNG) {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	r, c := w.Dim(0), w.Dim(1)
+	zeroRows := pickSet(rng.Split("rows"), r, spec.RowFrac)
+	zeroCols := pickSet(rng.Split("cols"), c, spec.ColFrac)
+	er := rng.Split("elems")
+	sr := rng.Split("segs")
+	sc, sRows := spec.segCols(), spec.segRows()
+	d := w.Data()
+	segZero := make([]bool, (c+sc-1)/sc)
+	for i := 0; i < r; i++ {
+		rowZero := zeroRows[i]
+		if i%sRows == 0 { // one decision per (row block, column segment)
+			for s := range segZero {
+				segZero[s] = spec.SegFrac > 0 && sr.Bernoulli(spec.SegFrac)
+			}
+		}
+		row := d[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			if rowZero || zeroCols[j] || segZero[j/sc] || er.Bernoulli(spec.ElemFrac) {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// pickSet returns a boolean membership vector with round(frac·n) members.
+func pickSet(rng *xrand.RNG, n int, frac float64) []bool {
+	k := int(frac*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	set := make([]bool, n)
+	for _, i := range rng.SampleK(k, n) {
+		set[i] = true
+	}
+	return set
+}
+
+// ApplyConv zeroes a conv layer's weights in place. Matrix rows are
+// filter pixels (ci, ky, kx) shared across output filters; matrix columns
+// are output filters — the same orientation as Conv.WeightMatrix.
+func ApplyConv(c *nn.Conv, spec Spec, rng *xrand.RNG) {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	rows := c.Cin * c.K * c.K
+	zeroRows := pickSet(rng.Split("rows"), rows, spec.RowFrac)
+	zeroCols := pickSet(rng.Split("cols"), c.Cout, spec.ColFrac)
+	er := rng.Split("elems")
+	sr := rng.Split("segs")
+	sc, sRows := spec.segCols(), spec.segRows()
+	nSeg := (c.Cout + sc - 1) / sc
+	nBlock := (rows + sRows - 1) / sRows
+	// Segment decisions must match ApplyMatrix's draw order (row blocks
+	// outer, column segments inner); precompute them because conv storage
+	// iterates filters (columns) in the outer loop.
+	segZero := make([]bool, nBlock*nSeg)
+	if spec.SegFrac > 0 {
+		for i := range segZero {
+			segZero[i] = sr.Bernoulli(spec.SegFrac)
+		}
+	}
+	kk := c.K * c.K
+	d := c.W.Data()
+	for co := 0; co < c.Cout; co++ {
+		base := co * c.Cin * kk
+		seg := co / sc
+		for rIdx := 0; rIdx < rows; rIdx++ {
+			if zeroRows[rIdx] || zeroCols[co] || segZero[(rIdx/sRows)*nSeg+seg] || er.Bernoulli(spec.ElemFrac) {
+				d[base+rIdx] = 0
+			}
+		}
+	}
+}
+
+// ApplyFC zeroes an FC layer's weights in place.
+func ApplyFC(f *nn.FC, spec Spec, rng *xrand.RNG) {
+	ApplyMatrix(f.W, spec, rng)
+}
+
+// ApplyLayer dispatches on the matrix-layer type.
+func ApplyLayer(l nn.MatrixLayer, spec Spec, rng *xrand.RNG) {
+	switch v := l.(type) {
+	case *nn.Conv:
+		ApplyConv(v, spec, rng)
+	case *nn.FC:
+		ApplyFC(v, spec, rng)
+	default:
+		panic("prune: unknown matrix layer type")
+	}
+}
+
+// SpecFunc selects the spec for a layer; used by ApplyNetwork.
+type SpecFunc func(li nn.LayerInfo) Spec
+
+// ApplyNetwork prunes every matrix layer of net using the per-layer spec
+// from f. Each layer draws from an independent RNG stream keyed by its
+// path, so results do not depend on layer iteration order.
+func ApplyNetwork(net *nn.Network, f SpecFunc, rng *xrand.RNG) {
+	for _, li := range net.MatrixLayerInfos() {
+		ApplyLayer(li.Layer, f(li), rng.Split("prune/"+li.Path))
+	}
+}
+
+// Magnitude zeroes the smallest-magnitude elements of w until the target
+// sparsity is reached (counting pre-existing zeros toward the target).
+func Magnitude(w []float32, target float64) {
+	if target <= 0 {
+		return
+	}
+	n := len(w)
+	want := int(target*float64(n) + 0.5)
+	zeros := 0
+	for _, v := range w {
+		if v == 0 {
+			zeros++
+		}
+	}
+	need := want - zeros
+	if need <= 0 {
+		return
+	}
+	type mag struct {
+		i int
+		a float32
+	}
+	nonzero := make([]mag, 0, n-zeros)
+	for i, v := range w {
+		if v != 0 {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			nonzero = append(nonzero, mag{i, a})
+		}
+	}
+	sort.Slice(nonzero, func(a, b int) bool { return nonzero[a].a < nonzero[b].a })
+	if need > len(nonzero) {
+		need = len(nonzero)
+	}
+	for _, m := range nonzero[:need] {
+		w[m.i] = 0
+	}
+}
+
+// MatrixRowSparsity returns the fraction of fully-zero rows in a rank-2
+// matrix — the structure SSL creates and row compression exploits.
+func MatrixRowSparsity(w *tensor.Tensor) float64 {
+	r, c := w.Dim(0), w.Dim(1)
+	zero := 0
+	d := w.Data()
+outer:
+	for i := 0; i < r; i++ {
+		for _, v := range d[i*c : (i+1)*c] {
+			if v != 0 {
+				continue outer
+			}
+		}
+		zero++
+	}
+	return float64(zero) / float64(r)
+}

@@ -1,0 +1,266 @@
+package prune
+
+import (
+	"math"
+	"testing"
+
+	"sre/internal/nn"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+func filledMatrix(r, c int) *tensor.Tensor {
+	w := tensor.New(r, c)
+	for i := range w.Data() {
+		w.Data()[i] = float32(i%7 + 1)
+	}
+	return w
+}
+
+func TestSpecValidate(t *testing.T) {
+	if (Spec{RowFrac: 1.5}).Validate() == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+	if (Spec{ElemFrac: -0.1}).Validate() == nil {
+		t.Fatal("accepted negative fraction")
+	}
+	if (Spec{RowFrac: 0.5, ColFrac: 0.5, ElemFrac: 0.5}).Validate() != nil {
+		t.Fatal("rejected valid spec")
+	}
+}
+
+func TestTotalSparsityFormula(t *testing.T) {
+	s := Spec{RowFrac: 0.5, ColFrac: 0.2, ElemFrac: 0.25}
+	want := 1 - 0.5*0.8*0.75
+	if math.Abs(s.TotalSparsity()-want) > 1e-12 {
+		t.Fatalf("TotalSparsity = %v, want %v", s.TotalSparsity(), want)
+	}
+}
+
+func TestElemFracForInvertsTotalSparsity(t *testing.T) {
+	for _, target := range []float64{0.3, 0.5, 0.9, 0.95} {
+		for _, rf := range []float64{0, 0.2, 0.5} {
+			e := ElemFracFor(target, rf, 0.1)
+			s := Spec{RowFrac: rf, ColFrac: 0.1, ElemFrac: e}
+			got := s.TotalSparsity()
+			if e > 0 && e < 1 && math.Abs(got-target) > 1e-9 {
+				t.Fatalf("target %v rf %v: got %v", target, rf, got)
+			}
+		}
+	}
+	// Structured zeros exceeding target → clamp to 0 extra.
+	if ElemFracFor(0.3, 0.9, 0) != 0 {
+		t.Fatal("over-structured case should clamp")
+	}
+}
+
+func TestApplyMatrixRowAndColStructure(t *testing.T) {
+	w := filledMatrix(100, 40)
+	ApplyMatrix(w, Spec{RowFrac: 0.3, ColFrac: 0.1}, xrand.New(1))
+	// Exactly 30 rows must be fully zero.
+	if got := MatrixRowSparsity(w); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("row sparsity = %v", got)
+	}
+	// Exactly 4 columns fully zero.
+	zeroCols := 0
+	for j := 0; j < 40; j++ {
+		all := true
+		for i := 0; i < 100; i++ {
+			if w.At(i, j) != 0 {
+				all = false
+				break
+			}
+		}
+		if all {
+			zeroCols++
+		}
+	}
+	// Zero columns could exceed 4 only if a column were zeroed by row
+	// overlap, impossible here (rows zero 30 of 100 entries per column).
+	if zeroCols != 4 {
+		t.Fatalf("zero columns = %d, want 4", zeroCols)
+	}
+}
+
+func TestApplyMatrixTotalSparsityCalibration(t *testing.T) {
+	target := 0.91
+	rf := 0.5
+	e := ElemFracFor(target, rf, 0)
+	w := filledMatrix(200, 120)
+	ApplyMatrix(w, Spec{RowFrac: rf, ElemFrac: e}, xrand.New(2))
+	got := w.Sparsity()
+	if math.Abs(got-target) > 0.02 {
+		t.Fatalf("sparsity %v, want ~%v", got, target)
+	}
+}
+
+func TestApplyConvMatchesMatrixOrientation(t *testing.T) {
+	c := nn.NewConv(3, 8, 3, 1, 1)
+	for i := range c.W.Data() {
+		c.W.Data()[i] = 1
+	}
+	ApplyConv(c, Spec{RowFrac: 0.4}, xrand.New(3))
+	// The weight-matrix view must show exactly the zeroed rows.
+	m := c.WeightMatrix()
+	if got := MatrixRowSparsity(m); math.Abs(got-0.4) > 0.05 {
+		t.Fatalf("conv matrix row sparsity = %v", got)
+	}
+	// A zero row means that pixel is zero in EVERY filter.
+	for r := 0; r < m.Dim(0); r++ {
+		zero := true
+		for j := 0; j < m.Dim(1); j++ {
+			if m.At(r, j) != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			ci, rest := r/9, r%9
+			ky, kx := rest/3, rest%3
+			for co := 0; co < 8; co++ {
+				if c.W.At(co, ci, ky, kx) != 0 {
+					t.Fatal("row zero in matrix but not in conv storage")
+				}
+			}
+		}
+	}
+}
+
+func TestApplyNetworkDeterministicPerLayer(t *testing.T) {
+	build := func() *nn.Network {
+		net, err := nn.Parse("p", nn.Shape{1, 12, 12}, "conv3x4-pool-conv3x4-8-4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, li := range net.MatrixLayerInfos() {
+			switch l := li.Layer.(type) {
+			case *nn.Conv:
+				l.W.Fill(1)
+			case *nn.FC:
+				l.W.Fill(1)
+			}
+		}
+		return net
+	}
+	spec := func(nn.LayerInfo) Spec { return Spec{RowFrac: 0.25, ElemFrac: 0.3} }
+	a, b := build(), build()
+	ApplyNetwork(a, spec, xrand.New(9))
+	ApplyNetwork(b, spec, xrand.New(9))
+	la, lb := a.MatrixLayerInfos(), b.MatrixLayerInfos()
+	for i := range la {
+		wa := la[i].Layer.WeightMatrix()
+		wb := lb[i].Layer.WeightMatrix()
+		for j := range wa.Data() {
+			if wa.Data()[j] != wb.Data()[j] {
+				t.Fatal("ApplyNetwork is not deterministic")
+			}
+		}
+	}
+	if a.WeightSparsity() < 0.3 {
+		t.Fatalf("network sparsity %v too low", a.WeightSparsity())
+	}
+}
+
+func TestMagnitude(t *testing.T) {
+	w := []float32{0.1, -0.5, 0.02, 3, -0.01, 0}
+	Magnitude(w, 0.5) // 3 of 6 zero; one already zero → zero 2 smallest
+	if w[4] != 0 || w[2] != 0 {
+		t.Fatal("smallest magnitudes not zeroed")
+	}
+	if w[3] != 3 || w[1] != -0.5 {
+		t.Fatal("large magnitudes must survive")
+	}
+	zeros := 0
+	for _, v := range w {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros != 3 {
+		t.Fatalf("zeros = %d, want 3", zeros)
+	}
+}
+
+func TestMagnitudeEdgeCases(t *testing.T) {
+	w := []float32{1, 2}
+	Magnitude(w, 0)
+	if w[0] != 1 {
+		t.Fatal("target 0 must be a no-op")
+	}
+	Magnitude(w, 1)
+	if w[0] != 0 || w[1] != 0 {
+		t.Fatal("target 1 must zero everything")
+	}
+	Magnitude(nil, 0.5) // must not panic
+}
+
+// TestSSLvsGSLStructure verifies the property the whole evaluation rests
+// on: at equal total sparsity, SSL-style pruning yields far more all-zero
+// matrix rows than GSL-style pruning.
+func TestSSLvsGSLStructure(t *testing.T) {
+	target := 0.9
+	ssl := filledMatrix(256, 64)
+	gsl := filledMatrix(256, 64)
+	ApplyMatrix(ssl, Spec{RowFrac: 0.7, ElemFrac: ElemFracFor(target, 0.7, 0)}, xrand.New(5))
+	ApplyMatrix(gsl, Spec{ElemFrac: target}, xrand.New(6))
+	if math.Abs(ssl.Sparsity()-gsl.Sparsity()) > 0.03 {
+		t.Fatalf("total sparsities differ too much: %v vs %v", ssl.Sparsity(), gsl.Sparsity())
+	}
+	sslRows, gslRows := MatrixRowSparsity(ssl), MatrixRowSparsity(gsl)
+	if sslRows < 0.65 {
+		t.Fatalf("SSL row sparsity %v too low", sslRows)
+	}
+	if gslRows > 0.05 {
+		t.Fatalf("GSL row sparsity %v unexpectedly high", gslRows)
+	}
+}
+
+// TestSegmentRowsBlockConsistency: with SegRows = 4, the zero decision
+// for a (block, segment) must apply to all four rows identically.
+func TestSegmentRowsBlockConsistency(t *testing.T) {
+	w := filledMatrix(64, 32)
+	spec := Spec{SegFrac: 0.5, SegCols: 4, SegRows: 4}
+	ApplyMatrix(w, spec, xrand.New(3))
+	for blk := 0; blk < 16; blk++ {
+		for seg := 0; seg < 8; seg++ {
+			zero := w.At(blk*4, seg*4) == 0
+			for dr := 0; dr < 4; dr++ {
+				for dc := 0; dc < 4; dc++ {
+					if (w.At(blk*4+dr, seg*4+dc) == 0) != zero {
+						t.Fatalf("block (%d,%d) not uniformly zeroed", blk, seg)
+					}
+				}
+			}
+		}
+	}
+	if s := w.Sparsity(); s < 0.3 || s > 0.7 {
+		t.Fatalf("segment sparsity %v implausible for frac 0.5", s)
+	}
+}
+
+// TestApplyConvMatchesApplyMatrix: pruning a conv layer directly must
+// produce exactly the zeros that pruning its matrix view produces (same
+// RNG stream), including with segments and row blocks.
+func TestApplyConvMatchesApplyMatrix(t *testing.T) {
+	specs := []Spec{
+		{RowFrac: 0.2, ColFrac: 0.1},
+		{SegFrac: 0.4, SegCols: 2, SegRows: 9},
+		{RowFrac: 0.1, SegFrac: 0.3, SegCols: 4, SegRows: 3, ElemFrac: 0.0},
+	}
+	for si, spec := range specs {
+		c := nn.NewConv(4, 8, 3, 1, 1)
+		for i := range c.W.Data() {
+			c.W.Data()[i] = 1
+		}
+		m := c.WeightMatrix() // dense copy in matrix orientation
+		ApplyConv(c, spec, xrand.New(77))
+		ApplyMatrix(m, spec, xrand.New(77))
+		got := c.WeightMatrix()
+		for r := 0; r < m.Dim(0); r++ {
+			for cc := 0; cc < m.Dim(1); cc++ {
+				if (got.At(r, cc) == 0) != (m.At(r, cc) == 0) {
+					t.Fatalf("spec %d: conv and matrix pruning disagree at (%d,%d)", si, r, cc)
+				}
+			}
+		}
+	}
+}

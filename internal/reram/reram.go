@@ -1,0 +1,213 @@
+// Package reram models the ReRAM device non-idealities that force the
+// OU-based architecture (paper §3, Fig. 5).
+//
+// Mechanism (following DL-RSIM [31] and the ISSCC'18 macro [6]): each
+// cell's read current deviates from its programmed level; the deviations
+// accumulate over the concurrently activated wordlines of a bitline, and
+// once the accumulated distribution overlaps the neighbouring
+// sum-of-products level the ADC mis-senses the result. More active
+// wordlines ⇒ wider distribution ⇒ more errors; larger R-ratio and
+// smaller deviation σ ⇒ taller level spacing relative to noise ⇒ fewer
+// errors. That is exactly the trade Fig. 5 sweeps.
+//
+// Current model: a cell in state s ∈ [0, 2^Bits−1] draws
+//
+//	I(s) = Ioff + s·ΔI,  ΔI = (Ion − Ioff)/(2^Bits−1),  Ioff = Ion/RRatio
+//
+// with multiplicative Gaussian deviation σ (relative to the cell's own
+// current). A read of m driven wordlines senses Σ I(s_i)(1+ε_i); the ADC
+// decides the nearest ideal level, so a read errs when the accumulated
+// deviation exceeds ΔI/2.
+package reram
+
+import (
+	"fmt"
+	"math"
+
+	"sre/internal/stats"
+	"sre/internal/xrand"
+)
+
+// Cell describes a ReRAM cell technology.
+type Cell struct {
+	Bits   int     // bits stored per cell
+	RRatio float64 // Ion/Ioff resistance window
+	Sigma  float64 // relative per-cell current deviation
+}
+
+// WOxBaseline returns the baseline (R_b, σ_b) WOx cell of the paper's
+// Fig. 5. The absolute constants are calibrated so that, as in the paper,
+// accuracy is solid at ≤ 8 concurrent wordlines, marginal near 16, and
+// collapses well before 128.
+func WOxBaseline() Cell { return Cell{Bits: 2, RRatio: 20, Sigma: 0.03} }
+
+// Improved returns the cell with k× larger R-ratio and k× smaller σ —
+// the "(k·R_b, σ_b/k)" variants of Fig. 5.
+func (c Cell) Improved(k float64) Cell {
+	return Cell{Bits: c.Bits, RRatio: c.RRatio * k, Sigma: c.Sigma / k}
+}
+
+// Validate rejects non-physical parameters.
+func (c Cell) Validate() error {
+	if c.Bits <= 0 || c.Bits > 8 {
+		return fmt.Errorf("reram: bits %d out of range", c.Bits)
+	}
+	if c.RRatio <= 1 {
+		return fmt.Errorf("reram: R-ratio %v must exceed 1", c.RRatio)
+	}
+	if c.Sigma < 0 {
+		return fmt.Errorf("reram: negative sigma")
+	}
+	return nil
+}
+
+// maxState returns the top programmable state.
+func (c Cell) maxState() int { return 1<<uint(c.Bits) - 1 }
+
+// levels returns (Ioff, ΔI) with Ion normalized to 1.
+func (c Cell) levels() (ioff, deltaI float64) {
+	ioff = 1 / c.RRatio
+	deltaI = (1 - ioff) / float64(c.maxState())
+	return ioff, deltaI
+}
+
+// Current returns the mean normalized current of state s.
+func (c Cell) Current(s int) float64 {
+	if s < 0 || s > c.maxState() {
+		panic("reram: state out of range")
+	}
+	ioff, deltaI := c.levels()
+	return ioff + float64(s)*deltaI
+}
+
+// SumNoiseStd returns the standard deviation of the sensed bitline sum in
+// LSB (ΔI) units when m wordlines are driven and the driven cells sit at
+// meanState on average. Deviations are independent per cell, so the
+// accumulated σ grows as √m — the root cause of the Fig. 5 cliff.
+func (c Cell) SumNoiseStd(m int, meanState float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	ioff, deltaI := c.levels()
+	iTyp := ioff + meanState*deltaI
+	return math.Sqrt(float64(m)) * c.Sigma * iTyp / deltaI
+}
+
+// ReadErrorProb returns the probability that a single bitline read is
+// sensed at the wrong level: P(|N(0, σ_sum)| > 1/2 LSB).
+func (c Cell) ReadErrorProb(m int, meanState float64) float64 {
+	sd := c.SumNoiseStd(m, meanState)
+	if sd == 0 {
+		return 0
+	}
+	return 2 * (1 - stats.NormalCDF(0.5/sd))
+}
+
+// SenseSum Monte-Carlo-simulates one bitline read: states[i] is the cell
+// state on wordline i, bits[i] the (0/1) driver value. It returns the
+// integer sum the ADC reports, clamped to the representable range.
+func (c Cell) SenseSum(states, bits []uint16, rng *xrand.RNG) int {
+	if len(states) != len(bits) {
+		panic("reram: states/bits length mismatch")
+	}
+	ioff, deltaI := c.levels()
+	ideal := 0
+	current := 0.0
+	m := 0
+	for i, b := range bits {
+		if b == 0 {
+			continue
+		}
+		if b != 1 {
+			panic("reram: SenseSum models a 1-bit driver")
+		}
+		s := int(states[i])
+		ideal += s
+		mean := ioff + float64(s)*deltaI
+		current += mean * (1 + c.Sigma*rng.NormFloat64())
+		m++
+	}
+	if m == 0 {
+		return 0
+	}
+	// The ADC decides the nearest ideal level given the (known) count of
+	// driven wordlines: level k has current m·Ioff + k·ΔI.
+	k := int(math.Round((current - float64(m)*ioff) / deltaI))
+	if k < 0 {
+		k = 0
+	}
+	if max := m * c.maxState(); k > max {
+		k = max
+	}
+	return k
+}
+
+// ADCBitsFor returns the ADC resolution needed to read a sum over m
+// wordlines of cells with c.Bits bits: ceil(log2(m·(2^Bits−1)+1)).
+// With a 16×16 OU and 2-bit cells this is 6 bits, matching Table 1.
+func ADCBitsFor(m, cellBits int) int {
+	levels := m*(1<<uint(cellBits)-1) + 1
+	b := 0
+	for 1<<uint(b) < levels {
+		b++
+	}
+	return b
+}
+
+// DiscreteReadVar returns the variance, in LSB² units, of the *sensed*
+// level error of a single read with m driven wordlines. The ADC rounds to
+// the nearest level, so deviations below half an LSB are corrected
+// entirely — this nonlinearity is why small OUs read accurately and large
+// ones collapse (Fig. 5): the residual variance is near zero until the
+// accumulated σ approaches the level spacing, then grows rapidly.
+func (c Cell) DiscreteReadVar(m int, meanState float64) float64 {
+	sd := c.SumNoiseStd(m, meanState)
+	if sd == 0 {
+		return 0
+	}
+	// Var = 2·Σ_{j≥1} j²·P(round(N(0,sd)) = j); terms die off fast.
+	v := 0.0
+	for j := 1; ; j++ {
+		p := stats.NormalCDF((float64(j)+0.5)/sd) - stats.NormalCDF((float64(j)-0.5)/sd)
+		term := 2 * float64(j) * float64(j) * p
+		v += term
+		if term < 1e-12*v || float64(j) > 6*sd+4 {
+			break
+		}
+	}
+	return v
+}
+
+// ChunkNoise describes the value-domain read noise for one n-row chunk
+// of a dot product (see Std).
+type ChunkNoise struct {
+	Cell           Cell
+	SlicesPerInput int // activation bit slices (quant.SlicesPerInput)
+	CellsPerWeight int // weight cell groups (quant.CellsPerWeight)
+	DACBits        int
+	CellBits       int
+	MeanState      float64 // average programmed state of driven cells
+	Density        float64 // fraction of wordlines driven with a 1 bit
+}
+
+// Std returns the standard deviation, in *value* units, of the error a
+// hardware computation adds to one chunk of n dot-product rows, given the
+// activation/weight quantization scales. Each of the
+// SlicesPerInput×CellsPerWeight reads carries independent post-ADC
+// (discrete) level noise weighted by its bit position
+// 2^(i·DACBits + j·CellBits).
+func (cn ChunkNoise) Std(n int, aScale, wScale float64) float64 {
+	m := int(math.Round(cn.Density * float64(n)))
+	if m <= 0 {
+		return 0
+	}
+	readVar := cn.Cell.DiscreteReadVar(m, cn.MeanState)
+	var sumSq float64
+	for i := 0; i < cn.SlicesPerInput; i++ {
+		for j := 0; j < cn.CellsPerWeight; j++ {
+			w := math.Pow(2, float64(i*cn.DACBits+j*cn.CellBits))
+			sumSq += w * w
+		}
+	}
+	return math.Sqrt(readVar*sumSq) * aScale * wScale
+}

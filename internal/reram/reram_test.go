@@ -1,0 +1,240 @@
+package reram
+
+import (
+	"math"
+	"testing"
+
+	"sre/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	if WOxBaseline().Validate() != nil {
+		t.Fatal("baseline cell rejected")
+	}
+	bad := []Cell{
+		{Bits: 0, RRatio: 10, Sigma: 0.1},
+		{Bits: 2, RRatio: 0.5, Sigma: 0.1},
+		{Bits: 2, RRatio: 10, Sigma: -1},
+		{Bits: 9, RRatio: 10, Sigma: 0.1},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("accepted %+v", c)
+		}
+	}
+}
+
+func TestImproved(t *testing.T) {
+	b := WOxBaseline()
+	i3 := b.Improved(3)
+	if i3.RRatio != 3*b.RRatio || math.Abs(i3.Sigma-b.Sigma/3) > 1e-12 {
+		t.Fatal("Improved scaling wrong")
+	}
+}
+
+func TestCurrentLevelsMonotonic(t *testing.T) {
+	c := WOxBaseline()
+	prev := -1.0
+	for s := 0; s <= 3; s++ {
+		i := c.Current(s)
+		if i <= prev {
+			t.Fatal("currents not strictly increasing")
+		}
+		prev = i
+	}
+	if math.Abs(c.Current(3)-1) > 1e-12 {
+		t.Fatal("top state must normalize to Ion = 1")
+	}
+	if math.Abs(c.Current(0)-1/c.RRatio) > 1e-12 {
+		t.Fatal("bottom state must be Ion/R")
+	}
+}
+
+func TestSumNoiseGrowsWithSqrtM(t *testing.T) {
+	c := WOxBaseline()
+	s1 := c.SumNoiseStd(4, 1.5)
+	s2 := c.SumNoiseStd(16, 1.5)
+	if math.Abs(s2/s1-2) > 1e-9 {
+		t.Fatalf("noise ratio %v, want 2 (√(16/4))", s2/s1)
+	}
+	if c.SumNoiseStd(0, 1.5) != 0 {
+		t.Fatal("no driven wordlines must mean no noise")
+	}
+}
+
+func TestReadErrorMonotoneInWordlines(t *testing.T) {
+	c := WOxBaseline()
+	prev := -1.0
+	for _, m := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		p := c.ReadErrorProb(m, 1.5)
+		if p < prev {
+			t.Fatalf("error prob decreased at m=%d", m)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		prev = p
+	}
+}
+
+func TestBetterCellsErrLess(t *testing.T) {
+	b := WOxBaseline()
+	for _, m := range []int{8, 16, 64} {
+		p1 := b.ReadErrorProb(m, 1.5)
+		p2 := b.Improved(2).ReadErrorProb(m, 1.5)
+		p3 := b.Improved(3).ReadErrorProb(m, 1.5)
+		if !(p3 <= p2 && p2 <= p1) {
+			t.Fatalf("m=%d: error probs not ordered: %v %v %v", m, p1, p2, p3)
+		}
+	}
+}
+
+// TestCliffShape pins the calibration the Fig. 5 reproduction relies on:
+// near-perfect reads at small OU heights, heavy errors at full-crossbar
+// activation.
+func TestCliffShape(t *testing.T) {
+	c := WOxBaseline()
+	if p := c.ReadErrorProb(8, 1.5); p > 0.02 {
+		t.Fatalf("baseline error at 8 wordlines = %v, want small", p)
+	}
+	if p := c.ReadErrorProb(128, 1.5); p < 0.3 {
+		t.Fatalf("baseline error at 128 wordlines = %v, want large", p)
+	}
+	// The 3× cell must be clean at 16 but degraded at 128.
+	i3 := c.Improved(3)
+	if p := i3.ReadErrorProb(16, 1.5); p > 0.01 {
+		t.Fatalf("3x cell error at 16 = %v", p)
+	}
+	if p := i3.ReadErrorProb(128, 1.5); p < 0.002 {
+		t.Fatalf("3x cell error at 128 = %v, want noticeable", p)
+	}
+}
+
+func TestSenseSumNoiselessIsExact(t *testing.T) {
+	c := Cell{Bits: 2, RRatio: 20, Sigma: 0}
+	rng := xrand.New(1)
+	states := []uint16{3, 1, 0, 2}
+	bits := []uint16{1, 1, 0, 1}
+	for i := 0; i < 10; i++ {
+		if got := c.SenseSum(states, bits, rng); got != 6 {
+			t.Fatalf("noiseless sense = %d, want 6", got)
+		}
+	}
+	if c.SenseSum([]uint16{3}, []uint16{0}, rng) != 0 {
+		t.Fatal("no driven wordlines must sense 0")
+	}
+}
+
+func TestSenseSumErrorRateMatchesAnalytic(t *testing.T) {
+	c := WOxBaseline()
+	rng := xrand.New(2)
+	const m, trials = 32, 4000
+	states := make([]uint16, m)
+	bits := make([]uint16, m)
+	var meanState float64
+	for i := range states {
+		states[i] = uint16(rng.Intn(4))
+		bits[i] = 1
+		meanState += float64(states[i])
+	}
+	meanState /= m
+	ideal := 0
+	for _, s := range states {
+		ideal += int(s)
+	}
+	errs := 0
+	for i := 0; i < trials; i++ {
+		if c.SenseSum(states, bits, rng) != ideal {
+			errs++
+		}
+	}
+	got := float64(errs) / trials
+	want := c.ReadErrorProb(m, meanState)
+	if math.Abs(got-want) > 0.05+0.3*want {
+		t.Fatalf("MC error rate %v vs analytic %v", got, want)
+	}
+}
+
+func TestSenseSumClamps(t *testing.T) {
+	// With monstrous σ the sensed value must stay within [0, m·maxState].
+	c := Cell{Bits: 2, RRatio: 5, Sigma: 10}
+	rng := xrand.New(3)
+	states := []uint16{3, 3}
+	bits := []uint16{1, 1}
+	for i := 0; i < 200; i++ {
+		k := c.SenseSum(states, bits, rng)
+		if k < 0 || k > 6 {
+			t.Fatalf("sensed %d outside [0,6]", k)
+		}
+	}
+}
+
+func TestADCBitsFor(t *testing.T) {
+	// Paper §5.3: 16×16 OU with 2-bit cells needs a 6-bit ADC.
+	if got := ADCBitsFor(16, 2); got != 6 {
+		t.Fatalf("ADCBitsFor(16,2) = %d, want 6", got)
+	}
+	// ISAAC-style full 128-row activation with 2-bit cells needs 9 bits
+	// (128·3+1 = 385 levels); the paper's ISAAC config lists 8 bits
+	// because of its encoding tricks — we only check our formula's math.
+	if got := ADCBitsFor(128, 2); got != 9 {
+		t.Fatalf("ADCBitsFor(128,2) = %d, want 9", got)
+	}
+	if got := ADCBitsFor(1, 1); got != 1 {
+		t.Fatalf("ADCBitsFor(1,1) = %d, want 1", got)
+	}
+}
+
+func TestChunkNoiseStd(t *testing.T) {
+	cn := ChunkNoise{
+		Cell:           WOxBaseline(),
+		SlicesPerInput: 2, CellsPerWeight: 2,
+		DACBits: 1, CellBits: 2,
+		MeanState: 1.5, Density: 0.5,
+	}
+	got := cn.Std(16, 0.5, 0.25)
+	// Hand-computed: m = 8; per-read variance = DiscreteReadVar(8, 1.5);
+	// Σ over (i,j) of 4^(i+2j) = (1+4)·(1+16) = 85.
+	want := math.Sqrt(cn.Cell.DiscreteReadVar(8, 1.5)*85) * 0.5 * 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ChunkNoise.Std = %v, want %v", got, want)
+	}
+	if cn.Std(0, 1, 1) != 0 {
+		t.Fatal("zero rows must carry zero noise")
+	}
+	zero := cn
+	zero.Density = 0
+	if zero.Std(16, 1, 1) != 0 {
+		t.Fatal("zero density must carry zero noise")
+	}
+}
+
+func TestMoreWordlinesNeverImproveAccuracyProxy(t *testing.T) {
+	// Chunked reads: for a fixed R=128 rows split into chunks of n, the
+	// total post-ADC error variance must grow with n — the ADC's rounding
+	// corrects sub-half-LSB noise, so many small reads beat few large
+	// ones. This is the Fig. 5 x-axis mechanism at value level.
+	cn := ChunkNoise{Cell: WOxBaseline(), SlicesPerInput: 16, CellsPerWeight: 8,
+		DACBits: 1, CellBits: 2, MeanState: 1.5, Density: 0.5}
+	prevVar := -1.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128} {
+		chunks := 128 / n
+		std := cn.Std(n, 1, 1)
+		totalVar := float64(chunks) * std * std
+		// Allow a small tolerance: once reads are fully saturated the
+		// discrete variance approaches the raw Gaussian variance, which
+		// is flat in this comparison, and tiny corrections go either way.
+		if totalVar < prevVar*0.95 {
+			t.Fatalf("total variance decreased at n=%d", n)
+		}
+		prevVar = totalVar
+	}
+	// And the growth must be dramatic: total error variance at
+	// full-crossbar activation must exceed the 4-row-chunk total by orders
+	// of magnitude (in the accurate regime rounding eats nearly all noise).
+	tot4 := 32 * cn.Std(4, 1, 1) * cn.Std(4, 1, 1)
+	tot128 := cn.Std(128, 1, 1) * cn.Std(128, 1, 1)
+	if tot128 < 100*tot4 {
+		t.Fatalf("discrete model not super-linear: var4=%v var128=%v", tot4, tot128)
+	}
+}

@@ -1,0 +1,105 @@
+// Package stats provides the small statistical helpers the experiment
+// runners use to aggregate per-network results (arithmetic and geometric
+// means, standard deviation, simple histograms).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, or 0 for an empty slice. All
+// inputs must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean requires positive inputs")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Min returns the minimum of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi). Values
+// outside the range are clamped into the first/last bin.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram spec")
+	}
+	h := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// NormalCDF returns the standard normal cumulative distribution function
+// Φ(x). The ReRAM sensing-error model (internal/reram) uses it to compute
+// the probability mass of a bitline-current distribution that crosses an
+// ADC decision boundary.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

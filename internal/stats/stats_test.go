@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); !almost(got, 4, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{-5, 0, 0.5, 0.99, 1.5, 100}, 0, 1, 2)
+	// -5 clamps to bin 0; 0, 0.49→bin0... 0.5,0.99→bin1; 1.5,100 clamp to bin1.
+	if h[0] != 2 || h[1] != 4 {
+		t.Fatalf("Histogram = %v", h)
+	}
+}
+
+func TestNormalCDFProperties(t *testing.T) {
+	if !almost(NormalCDF(0), 0.5, 1e-12) {
+		t.Fatal("Φ(0) != 0.5")
+	}
+	// Symmetry: Φ(x) + Φ(−x) = 1.
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 10)
+		return almost(NormalCDF(x)+NormalCDF(-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Known quantile: Φ(1.96) ≈ 0.975.
+	if !almost(NormalCDF(1.959964), 0.975, 1e-4) {
+		t.Fatalf("Φ(1.96) = %v", NormalCDF(1.959964))
+	}
+}
+
+func TestMeanGeoMeanOrdering(t *testing.T) {
+	// AM-GM inequality as a property test.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

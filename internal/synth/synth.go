@@ -1,0 +1,141 @@
+// Package synth estimates area and power of SRE's two added digital
+// blocks — the Index Decoder and the Wordline Vector Generator — from
+// structural netlists, standing in for the paper's Verilog + Synopsys DC
+// flow (§7.2).
+//
+// The paper publishes the exact component inventories of both blocks at
+// width 8 (e.g. "seven 5-bit adders, six 6-bit adders, four 7-bit adders,
+// eight 13-bit adders, …"), and their synthesized cost (each ≈ 0.001 mm²;
+// 1.24 mW and 0.86 mW). We rebuild those inventories — the decoder's
+// small adders are exactly the w−2^(k−1) adders of each Hillis–Steele
+// stage — and fit a per-bit linear cost model to the published numbers,
+// so the *scaling* conclusions (cost grows ~linearly with width, is
+// independent of OU size) carry over even though absolute standard-cell
+// constants are process-specific.
+package synth
+
+import "fmt"
+
+// Kind is a digital component class.
+type Kind int
+
+const (
+	Adder Kind = iota
+	Latch
+	Comparator
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Adder:
+		return "adder"
+	case Latch:
+		return "latch"
+	case Comparator:
+		return "comparator"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Component is a counted, width-parameterized element of a netlist.
+type Component struct {
+	Kind  Kind
+	Bits  int
+	Count int
+}
+
+// Netlist is a bag of components.
+type Netlist []Component
+
+// Bits returns the total component bits of a kind.
+func (n Netlist) Bits(k Kind) int {
+	total := 0
+	for _, c := range n {
+		if c.Kind == k {
+			total += c.Bits * c.Count
+		}
+	}
+	return total
+}
+
+// Cost model: per-bit power (mW) and area (mm²), fitted to the paper's
+// synthesized results at 32 nm (see package comment). Latches are taken
+// at half an adder bit's cost; the comparator constant then follows from
+// the WLVG total.
+const (
+	adderPowerPerBit      = 4.22e-3 // mW
+	latchPowerPerBit      = adderPowerPerBit / 2
+	comparatorPowerPerBit = 3.82e-3
+
+	adderAreaPerBit      = 3.4e-6 // mm²
+	latchAreaPerBit      = adderAreaPerBit / 2
+	comparatorAreaPerBit = 3.0e-6
+)
+
+// Power returns the netlist's estimated power in mW.
+func (n Netlist) Power() float64 {
+	return adderPowerPerBit*float64(n.Bits(Adder)) +
+		latchPowerPerBit*float64(n.Bits(Latch)) +
+		comparatorPowerPerBit*float64(n.Bits(Comparator))
+}
+
+// Area returns the netlist's estimated area in mm².
+func (n Netlist) Area() float64 {
+	return adderAreaPerBit*float64(n.Bits(Adder)) +
+		latchAreaPerBit*float64(n.Bits(Latch)) +
+		comparatorAreaPerBit*float64(n.Bits(Comparator))
+}
+
+// IndexDecoder builds the decoder netlist for a given parallel width and
+// index code bits, with position accumulators wide enough for posBits
+// absolute positions. Per Hillis–Steele stage k (1-based), the block
+// needs width−2^(k−1) adders of codeBits+k−1 bits and width pipeline
+// latches of codeBits+k bits; width posBits-bit adders add the running
+// base, latched once.
+func IndexDecoder(width, codeBits, posBits int) Netlist {
+	if width < 1 || codeBits < 1 || posBits < 1 {
+		panic("synth: bad decoder parameters")
+	}
+	var n Netlist
+	for k, step := 1, 1; step < width; k, step = k+1, step*2 {
+		n = append(n,
+			Component{Adder, codeBits + k - 1, width - step},
+			Component{Latch, codeBits + k, width},
+		)
+	}
+	n = append(n,
+		Component{Adder, posBits, width},
+		Component{Latch, posBits, 1},
+	)
+	return n
+}
+
+// PaperIndexDecoder returns the exact width-8 inventory of §7.2: seven
+// 5-bit adders, six 6-bit adders, four 7-bit adders, eight 13-bit adders,
+// eight 6-bit latches, eight 7-bit latches, eight 8-bit latches, and one
+// 13-bit latch.
+func PaperIndexDecoder() Netlist { return IndexDecoder(8, 5, 13) }
+
+// WLVG builds the Wordline Vector Generator netlist: a width-wide
+// parallel prefix sum over the 1-bit mask (stage k uses width/2 adders of
+// k bits in the paper's folded organization, ending in width adders of
+// sumBits) plus 2·width double-buffered comparator pairs of cmpBits.
+func WLVG(width, sumBits, cmpBits int) Netlist {
+	if width < 2 {
+		panic("synth: WLVG width must be ≥ 2")
+	}
+	var n Netlist
+	for k, step := 1, 1; step < width; k, step = k+1, step*2 {
+		n = append(n, Component{Adder, k, width / 2})
+	}
+	n = append(n,
+		Component{Adder, sumBits, width},
+		Component{Comparator, cmpBits, 4 * width},
+	)
+	return n
+}
+
+// PaperWLVG returns the exact width-8 inventory of §7.2: four 1-bit, four
+// 2-bit and four 3-bit adders, eight 8-bit adders, and thirty-two 4-bit
+// comparators.
+func PaperWLVG() Netlist { return WLVG(8, 8, 4) }

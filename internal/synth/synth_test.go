@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperIndexDecoderInventory pins the generator to the exact §7.2
+// component list.
+func TestPaperIndexDecoderInventory(t *testing.T) {
+	n := PaperIndexDecoder()
+	want := map[[2]int]int{ // {kind, bits} → count
+		{int(Adder), 5}:  7,
+		{int(Adder), 6}:  6,
+		{int(Adder), 7}:  4,
+		{int(Adder), 13}: 8,
+		{int(Latch), 6}:  8,
+		{int(Latch), 7}:  8,
+		{int(Latch), 8}:  8,
+		{int(Latch), 13}: 1,
+	}
+	got := map[[2]int]int{}
+	for _, c := range n {
+		got[[2]int{int(c.Kind), c.Bits}] += c.Count
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("component %v: got %d, want %d (full netlist %+v)", k, got[k], v, n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("extra components: %+v", got)
+	}
+}
+
+func TestPaperWLVGInventory(t *testing.T) {
+	n := PaperWLVG()
+	want := map[[2]int]int{
+		{int(Adder), 1}:      4,
+		{int(Adder), 2}:      4,
+		{int(Adder), 3}:      4,
+		{int(Adder), 8}:      8,
+		{int(Comparator), 4}: 32,
+	}
+	got := map[[2]int]int{}
+	for _, c := range n {
+		got[[2]int{int(c.Kind), c.Bits}] += c.Count
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("component %v: got %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestCalibration: the fitted cost model must land on the paper's
+// synthesized numbers: ~1.24 mW / ~0.86 mW and ~0.001 mm² each.
+func TestCalibration(t *testing.T) {
+	dec, wlvg := PaperIndexDecoder(), PaperWLVG()
+	if p := dec.Power(); math.Abs(p-1.24) > 0.05 {
+		t.Fatalf("decoder power = %v mW, want ≈1.24", p)
+	}
+	if p := wlvg.Power(); math.Abs(p-0.86) > 0.05 {
+		t.Fatalf("WLVG power = %v mW, want ≈0.86", p)
+	}
+	for _, n := range []Netlist{dec, wlvg} {
+		if a := n.Area(); a < 0.0005 || a > 0.002 {
+			t.Fatalf("area = %v mm², want ≈0.001", a)
+		}
+	}
+}
+
+func TestCostScalesWithWidth(t *testing.T) {
+	p8 := IndexDecoder(8, 5, 13).Power()
+	p16 := IndexDecoder(16, 5, 13).Power()
+	p32 := IndexDecoder(32, 5, 13).Power()
+	if !(p8 < p16 && p16 < p32) {
+		t.Fatal("power must grow with width")
+	}
+	// Hillis–Steele grows as O(w·log w): 4× the width should cost well
+	// under 8× the power.
+	if p32 > 8*p8 {
+		t.Fatalf("super-linear blowup: p8=%v p32=%v", p8, p32)
+	}
+}
+
+func TestBitsByKind(t *testing.T) {
+	n := Netlist{{Adder, 4, 2}, {Latch, 3, 3}, {Comparator, 2, 5}}
+	if n.Bits(Adder) != 8 || n.Bits(Latch) != 9 || n.Bits(Comparator) != 10 {
+		t.Fatal("Bits accounting wrong")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { IndexDecoder(0, 5, 13) },
+		func() { WLVG(1, 8, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Adder.String() != "adder" || Latch.String() != "latch" || Comparator.String() != "comparator" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still print")
+	}
+}
+
+func TestAreaPositiveAndOrdered(t *testing.T) {
+	small := IndexDecoder(2, 3, 8)
+	big := IndexDecoder(16, 3, 8)
+	if small.Area() <= 0 || big.Area() <= small.Area() {
+		t.Fatal("area must grow with width")
+	}
+}

@@ -1,0 +1,250 @@
+// Package tensor implements the dense float32 tensors the neural-network
+// substrate computes with, plus the im2col lowering that turns
+// convolutions into the matrix–vector products a ReRAM crossbar executes.
+//
+// Layout conventions (used consistently by internal/nn and
+// internal/mapping):
+//
+//   - Feature maps are CHW: Shape = [C, H, W].
+//   - Conv weights are [Cout, Cin, K, K].
+//   - The im2col row index for (c, ky, kx) is c·K·K + ky·K + kx, so a
+//     conv layer's weight matrix has R = Cin·K·K rows and Cout columns,
+//     and the same function generates both the weight matrix rows and the
+//     per-window input vectors. Keeping one ordering in one place is what
+//     makes the crossbar functional model provably equal to the reference
+//     convolution (see mapping tests).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 tensor with row-major layout.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dim in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data (not copied) with the given shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, have %d", shape, n, len(data)))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Shape returns the tensor's dimensions. The caller must not mutate it.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the backing slice in row-major order.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// offset computes the row-major offset of idx.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, v := range idx {
+		if v < 0 || v >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + v
+	}
+	return off
+}
+
+// At returns the element at idx.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at idx.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// NNZ returns the number of non-zero elements.
+func (t *Tensor) NNZ() int {
+	n := 0
+	for _, v := range t.data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of elements that are exactly zero.
+func (t *Tensor) Sparsity() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ())/float64(len(t.data))
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddInPlace adds other element-wise; shapes must match exactly.
+func (t *Tensor) AddInPlace(other *Tensor) {
+	if len(t.data) != len(other.data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range other.data {
+		t.data[i] += v
+	}
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty).
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ConvOutputDim returns the output spatial size for input size h, kernel
+// k, stride s and padding p. It panics on a non-positive result.
+func ConvOutputDim(h, k, s, p int) int {
+	out := (h+2*p-k)/s + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output dim %d for h=%d k=%d s=%d p=%d", out, h, k, s, p))
+	}
+	return out
+}
+
+// Im2ColWindow extracts one sliding window of a CHW input x as a flat
+// vector of length Cin·K·K in the canonical (c, ky, kx) ordering,
+// zero-padding out-of-bounds positions. (oy, ox) is the output pixel,
+// stride s, padding p. dst must have length Cin·K·K (or nil to allocate).
+func Im2ColWindow(x *Tensor, k, s, p, oy, ox int, dst []float32) []float32 {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	n := c * k * k
+	if dst == nil {
+		dst = make([]float32, n)
+	} else if len(dst) != n {
+		panic("tensor: Im2ColWindow dst length mismatch")
+	}
+	baseY := oy*s - p
+	baseX := ox*s - p
+	i := 0
+	for ci := 0; ci < c; ci++ {
+		plane := x.data[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			y := baseY + ky
+			for kx := 0; kx < k; kx++ {
+				xx := baseX + kx
+				if y < 0 || y >= h || xx < 0 || xx >= w {
+					dst[i] = 0
+				} else {
+					dst[i] = plane[y*w+xx]
+				}
+				i++
+			}
+		}
+	}
+	return dst
+}
+
+// Im2Col lowers a full CHW input into a matrix with Cin·K·K rows and
+// Hout·Wout columns; column (oy·Wout + ox) is the window at output pixel
+// (oy, ox). It is the reference lowering the crossbar mapping is checked
+// against.
+func Im2Col(x *Tensor, k, s, p int) *Tensor {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	hout := ConvOutputDim(h, k, s, p)
+	wout := ConvOutputDim(w, k, s, p)
+	rows := c * k * k
+	out := New(rows, hout*wout)
+	buf := make([]float32, rows)
+	for oy := 0; oy < hout; oy++ {
+		for ox := 0; ox < wout; ox++ {
+			Im2ColWindow(x, k, s, p, oy, ox, buf)
+			col := oy*wout + ox
+			for r := 0; r < rows; r++ {
+				out.data[r*hout*wout+col] = buf[r]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec computes y = Wᵀ·x for a weight matrix W with shape [R, C] and an
+// input vector x of length R, producing y of length C. This is exactly
+// the crossbar's semantics: inputs drive rows (wordlines), outputs
+// accumulate down columns (bitlines).
+func MatVec(w *Tensor, x []float32) []float32 {
+	if len(w.shape) != 2 {
+		panic("tensor: MatVec wants a rank-2 weight matrix")
+	}
+	r, c := w.shape[0], w.shape[1]
+	if len(x) != r {
+		panic(fmt.Sprintf("tensor: MatVec input length %d vs %d rows", len(x), r))
+	}
+	y := make([]float32, c)
+	for i := 0; i < r; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := w.data[i*c : (i+1)*c]
+		for j, wij := range row {
+			y[j] += xi * wij
+		}
+	}
+	return y
+}

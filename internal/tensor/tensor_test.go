@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sre/internal/xrand"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d", x.Size())
+	}
+	x.Set(7, 1, 2, 3)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("round-trip Set/At failed")
+	}
+	if x.At(0, 0, 0) != 0 {
+		t.Fatal("fresh tensor not zeroed")
+	}
+	// Row-major: last axis contiguous.
+	x.Set(9, 0, 0, 1)
+	if x.Data()[1] != 9 {
+		t.Fatal("layout is not row-major")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestRankMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).At(1)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(5, 2, 3)
+	if x.At(1, 5) != 5 {
+		t.Fatal("Reshape does not alias data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(4)
+	x.Set(1, 0)
+	y := x.Clone()
+	y.Set(2, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestSparsityAndNNZ(t *testing.T) {
+	x := New(10)
+	if x.Sparsity() != 1 {
+		t.Fatal("zero tensor sparsity != 1")
+	}
+	x.Set(1, 3)
+	x.Set(-2, 7)
+	if x.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", x.NNZ())
+	}
+	if math.Abs(x.Sparsity()-0.8) > 1e-12 {
+		t.Fatalf("Sparsity = %v", x.Sparsity())
+	}
+}
+
+func TestConvOutputDim(t *testing.T) {
+	// 4x4 input, 2x2 kernel, stride 1, no pad → 3 (Figure 2's geometry).
+	if ConvOutputDim(4, 2, 1, 0) != 3 {
+		t.Fatal("ConvOutputDim basic case wrong")
+	}
+	// Same-padding 3x3 stride 1: out == in.
+	if ConvOutputDim(224, 3, 1, 1) != 224 {
+		t.Fatal("same-padding case wrong")
+	}
+	// Stride-2 7x7 with pad 3 on 224 → 112 (ResNet/GoogLeNet stem).
+	if ConvOutputDim(224, 7, 2, 3) != 112 {
+		t.Fatal("stem conv case wrong")
+	}
+}
+
+func TestIm2ColWindowOrderingAndPadding(t *testing.T) {
+	// 2-channel 2x2 input; window at (0,0) of a 2x2 kernel with pad 1 picks
+	// the top-left corner with three padded zeros per channel.
+	x := New(2, 2, 2)
+	v := float32(1)
+	for c := 0; c < 2; c++ {
+		for y := 0; y < 2; y++ {
+			for xx := 0; xx < 2; xx++ {
+				x.Set(v, c, y, xx)
+				v++
+			}
+		}
+	}
+	got := Im2ColWindow(x, 2, 1, 1, 0, 0, nil)
+	want := []float32{0, 0, 0, 1 /* ch0 */, 0, 0, 0, 5 /* ch1 */}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("window = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestIm2ColMatVecEqualsDirectConv is the key property: lowering + MatVec
+// must equal a directly computed convolution for random shapes.
+func TestIm2ColMatVecEqualsDirectConv(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 10; trial++ {
+		cin := 1 + r.Intn(3)
+		cout := 1 + r.Intn(4)
+		k := 1 + r.Intn(3)
+		h := k + r.Intn(5)
+		s := 1 + r.Intn(2)
+		p := r.Intn(2)
+		x := New(cin, h, h)
+		for i := range x.Data() {
+			x.Data()[i] = float32(r.Intn(7) - 3)
+		}
+		wt := New(cin*k*k, cout) // weight matrix in crossbar orientation
+		for i := range wt.Data() {
+			wt.Data()[i] = float32(r.Intn(5) - 2)
+		}
+		hout := ConvOutputDim(h, k, s, p)
+		buf := make([]float32, cin*k*k)
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < hout; ox++ {
+				Im2ColWindow(x, k, s, p, oy, ox, buf)
+				y := MatVec(wt, buf)
+				for co := 0; co < cout; co++ {
+					// Direct convolution with the same (c,ky,kx) unrolling.
+					var want float32
+					for ci := 0; ci < cin; ci++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								iy, ix := oy*s-p+ky, ox*s-p+kx
+								if iy < 0 || iy >= h || ix < 0 || ix >= h {
+									continue
+								}
+								row := ci*k*k + ky*k + kx
+								want += x.At(ci, iy, ix) * wt.At(row, co)
+							}
+						}
+					}
+					if y[co] != want {
+						t.Fatalf("trial %d: conv mismatch at (%d,%d,ch %d): %v vs %v",
+							trial, oy, ox, co, y[co], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIm2ColMatrixColumnsMatchWindows(t *testing.T) {
+	r := xrand.New(5)
+	x := New(2, 5, 5)
+	for i := range x.Data() {
+		x.Data()[i] = float32(r.Intn(9) - 4)
+	}
+	k, s, p := 3, 2, 1
+	m := Im2Col(x, k, s, p)
+	hout := ConvOutputDim(5, k, s, p)
+	buf := make([]float32, 2*k*k)
+	for oy := 0; oy < hout; oy++ {
+		for ox := 0; ox < hout; ox++ {
+			Im2ColWindow(x, k, s, p, oy, ox, buf)
+			col := oy*hout + ox
+			for row := 0; row < m.Dim(0); row++ {
+				if m.At(row, col) != buf[row] {
+					t.Fatalf("Im2Col col %d row %d mismatch", col, row)
+				}
+			}
+		}
+	}
+}
+
+func TestMatVecSkipsZeroInputsCorrectly(t *testing.T) {
+	// The zero-skip fast path must not change results.
+	f := func(seed uint32) bool {
+		r := xrand.New(uint64(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		w := New(rows, cols)
+		for i := range w.Data() {
+			w.Data()[i] = float32(r.Intn(5) - 2)
+		}
+		x := make([]float32, rows)
+		for i := range x {
+			if r.Bernoulli(0.5) {
+				x[i] = float32(r.Intn(5) - 2)
+			}
+		}
+		y := MatVec(w, x)
+		for j := 0; j < cols; j++ {
+			var want float32
+			for i := 0; i < rows; i++ {
+				want += x[i] * w.At(i, j)
+			}
+			if y[j] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAddMaxAbs(t *testing.T) {
+	x := New(3)
+	x.Set(1, 0)
+	x.Set(-4, 1)
+	x.Scale(2)
+	if x.At(1) != -8 {
+		t.Fatal("Scale wrong")
+	}
+	y := New(3)
+	y.Set(10, 2)
+	x.AddInPlace(y)
+	if x.At(2) != 10 {
+		t.Fatal("AddInPlace wrong")
+	}
+	if x.MaxAbs() != 10 {
+		t.Fatalf("MaxAbs = %v", x.MaxAbs())
+	}
+}
+
+func TestFill(t *testing.T) {
+	x := New(2, 2)
+	x.Fill(3)
+	for _, v := range x.Data() {
+		if v != 3 {
+			t.Fatal("Fill incomplete")
+		}
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	if x.At(1, 1) != 4 {
+		t.Fatal("FromSlice layout wrong")
+	}
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	FromSlice(d, 3, 2)
+}
+
+func TestReshapePanicsOnSizeChange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).Reshape(5)
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestMatVecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	MatVec(New(2, 2), []float32{1})
+}
+
+func TestConvOutputDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for impossible conv")
+		}
+	}()
+	ConvOutputDim(2, 5, 1, 0)
+}

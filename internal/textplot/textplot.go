@@ -1,0 +1,73 @@
+// Package textplot renders small horizontal bar charts as text, so
+// cmd/srebench can show the paper's figures as figures, not just tables.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a titled group of bars with an optional reference line.
+type Chart struct {
+	Title string
+	Unit  string  // suffix printed after each value ("x", "%", "")
+	Ref   float64 // draw a '|' marker at this value if > 0 (e.g. baseline = 1)
+	Bars  []Bar
+}
+
+// Render draws the chart with bars scaled into `width` columns.
+func (c Chart) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	if len(c.Bars) == 0 {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	labelW, maxV := 0, 0.0
+	for _, bar := range c.Bars {
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+		maxV = math.Max(maxV, bar.Value)
+	}
+	maxV = math.Max(maxV, c.Ref)
+	if maxV <= 0 {
+		maxV = 1
+	}
+	scale := float64(width) / maxV
+	refCol := -1
+	if c.Ref > 0 {
+		refCol = int(math.Round(c.Ref * scale))
+	}
+	for _, bar := range c.Bars {
+		n := int(math.Round(bar.Value * scale))
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		row := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if refCol >= 0 && refCol <= width {
+			idx := refCol
+			if idx == len(row) {
+				idx--
+			}
+			if row[idx] == ' ' {
+				row[idx] = '|'
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.2f%s\n", labelW, bar.Label, string(row), bar.Value, c.Unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{Title: "speedup", Unit: "x", Ref: 1,
+		Bars: []Bar{{"a", 2}, {"b", 4}, {"longlabel", 1}}}
+	out := c.Render(40)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "speedup") {
+		t.Fatal("missing title")
+	}
+	// The largest bar fills the width; the smaller one is about half.
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if countHash(lines[2]) != 40 {
+		t.Fatalf("max bar has %d hashes, want 40", countHash(lines[2]))
+	}
+	if h := countHash(lines[1]); h < 18 || h > 22 {
+		t.Fatalf("half bar has %d hashes", h)
+	}
+	// Reference mark appears in rows where the bar falls short of it.
+	if !strings.Contains(lines[3], "|") {
+		t.Fatal("missing reference mark")
+	}
+	// Values printed with unit.
+	if !strings.Contains(lines[1], "2.00x") {
+		t.Fatalf("value missing: %q", lines[1])
+	}
+}
+
+func TestRenderEdges(t *testing.T) {
+	if out := (Chart{Title: "t"}).Render(20); !strings.Contains(out, "no data") {
+		t.Fatal("empty chart must say so")
+	}
+	// All-zero values must not divide by zero.
+	c := Chart{Title: "z", Bars: []Bar{{"a", 0}}}
+	if out := c.Render(5); !strings.Contains(out, "0.00") {
+		t.Fatalf("zero chart: %q", out)
+	}
+	// Tiny width clamps.
+	c2 := Chart{Title: "w", Bars: []Bar{{"a", 1}}}
+	if out := c2.Render(1); !strings.Contains(out, "#") {
+		t.Fatalf("clamped width: %q", out)
+	}
+}
+
+func TestLabelsAligned(t *testing.T) {
+	c := Chart{Title: "t", Bars: []Bar{{"x", 1}, {"yyyy", 1}}}
+	lines := strings.Split(strings.TrimSuffix(c.Render(10), "\n"), "\n")
+	if strings.Index(lines[1], "#") != strings.Index(lines[2], "#") {
+		t.Fatal("bars not column-aligned")
+	}
+}

@@ -1,0 +1,256 @@
+// Package train implements plain SGD with backpropagation for the
+// sequential subset of nn layers (Conv, FC, ReLU, MaxPool).
+//
+// The Fig. 5 experiment needs *really trained* small networks: accuracy
+// under injected ReRAM read errors is only meaningful relative to a
+// network that actually classifies its task well. LeNet-scale models on
+// the synthetic datasets train to >90 % in a few seconds of CPU time;
+// nothing here aims at large-scale training.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"sre/internal/dataset"
+	"sre/internal/nn"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+// Trainer drives SGD over a network.
+type Trainer struct {
+	Net *nn.Network
+	LR  float32
+	rng *xrand.RNG
+}
+
+// New wraps a network and He-initializes its weights.
+func New(net *nn.Network, lr float32, seed uint64) *Trainer {
+	t := &Trainer{Net: net, LR: lr, rng: xrand.New(seed)}
+	t.initWeights()
+	return t
+}
+
+func (t *Trainer) initWeights() {
+	for _, li := range t.Net.MatrixLayerInfos() {
+		r := t.rng.Split("init/" + li.Path)
+		std := float32(math.Sqrt(2 / float64(li.Rows)))
+		switch l := li.Layer.(type) {
+		case *nn.Conv:
+			for i := range l.W.Data() {
+				l.W.Data()[i] = float32(r.NormFloat64()) * std
+			}
+		case *nn.FC:
+			for i := range l.W.Data() {
+				l.W.Data()[i] = float32(r.NormFloat64()) * std
+			}
+		}
+	}
+}
+
+// TrainEpoch runs one pass of per-sample SGD in a random order and
+// returns the mean cross-entropy loss.
+func (t *Trainer) TrainEpoch(set *dataset.Set) float64 {
+	order := t.rng.Perm(set.Len())
+	total := 0.0
+	for _, i := range order {
+		total += t.Step(set.X[i], set.Y[i])
+	}
+	return total / float64(set.Len())
+}
+
+// Step performs one SGD update for a single sample and returns its loss.
+func (t *Trainer) Step(x *tensor.Tensor, label int) float64 {
+	// Forward with per-layer input caching.
+	inputs := make([]*tensor.Tensor, len(t.Net.Layers))
+	cur := x
+	for i, l := range t.Net.Layers {
+		inputs[i] = cur
+		cur = l.Forward(cur, nil)
+	}
+	loss, dz := softmaxCrossEntropy(cur.Data(), label)
+	dy := tensor.FromSlice(dz, cur.Shape()...)
+	// Backward in reverse order, updating weights in place.
+	for i := len(t.Net.Layers) - 1; i >= 0; i-- {
+		dy = t.backward(t.Net.Layers[i], inputs[i], dy)
+	}
+	return loss
+}
+
+// Accuracy returns top-1 accuracy of the current weights on set.
+func (t *Trainer) Accuracy(set *dataset.Set) float64 {
+	correct := 0
+	for i, x := range set.X {
+		if Predict(t.Net, x) == set.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len())
+}
+
+// Predict returns the argmax class for input x.
+func Predict(net *nn.Network, x *tensor.Tensor) int {
+	y := net.Forward(x, nil)
+	best, bestV := 0, y.Data()[0]
+	for i, v := range y.Data() {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// softmaxCrossEntropy returns the loss and dLoss/dLogits.
+func softmaxCrossEntropy(logits []float32, label int) (float64, []float32) {
+	maxV := logits[0]
+	for _, v := range logits {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sum := 0.0
+	exps := make([]float64, len(logits))
+	for i, v := range logits {
+		exps[i] = math.Exp(float64(v - maxV))
+		sum += exps[i]
+	}
+	dz := make([]float32, len(logits))
+	for i := range logits {
+		p := exps[i] / sum
+		dz[i] = float32(p)
+	}
+	dz[label] -= 1
+	loss := -math.Log(exps[label]/sum + 1e-30)
+	return loss, dz
+}
+
+// backward computes dx for layer l given its cached input and upstream
+// gradient dy, applying SGD weight updates in place.
+func (t *Trainer) backward(l nn.Layer, x, dy *tensor.Tensor) *tensor.Tensor {
+	switch v := l.(type) {
+	case *nn.FC:
+		return t.backwardFC(v, x, dy)
+	case *nn.Conv:
+		return t.backwardConv(v, x, dy)
+	case nn.ReLU:
+		// dx = dy where forward output was positive. Forward output
+		// positivity equals input positivity for ReLU.
+		dx := dy.Clone()
+		for i, xv := range x.Data() {
+			if xv <= 0 {
+				dx.Data()[i] = 0
+			}
+		}
+		return dx
+	case *nn.MaxPool:
+		return backwardMaxPool(v, x, dy)
+	default:
+		panic(fmt.Sprintf("train: layer %s not supported for backprop", l.Name()))
+	}
+}
+
+func (t *Trainer) backwardFC(f *nn.FC, x, dy *tensor.Tensor) *tensor.Tensor {
+	xf := x.Data() // cached input, flattened view is the same backing slice
+	dyd := dy.Data()
+	dx := make([]float32, f.In)
+	w := f.W.Data()
+	lr := t.LR
+	for i := 0; i < f.In; i++ {
+		row := w[i*f.Out : (i+1)*f.Out]
+		xi := xf[i]
+		var g float32
+		for j, dyj := range dyd {
+			g += row[j] * dyj
+			row[j] -= lr * xi * dyj
+		}
+		dx[i] = g
+	}
+	for j, dyj := range dyd {
+		f.B[j] -= lr * dyj
+	}
+	return tensor.FromSlice(dx, x.Shape()...)
+}
+
+func (t *Trainer) backwardConv(c *nn.Conv, x, dy *tensor.Tensor) *tensor.Tensor {
+	h, w := x.Dim(1), x.Dim(2)
+	hout, wout := dy.Dim(1), dy.Dim(2)
+	dx := tensor.New(x.Shape()...)
+	lr := t.LR
+	kk := c.K * c.K
+	for co := 0; co < c.Cout; co++ {
+		wBase := c.W.Data()[co*c.Cin*kk : (co+1)*c.Cin*kk]
+		dyPlane := dy.Data()[co*hout*wout : (co+1)*hout*wout]
+		var biasGrad float32
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				g := dyPlane[oy*wout+ox]
+				if g == 0 {
+					continue
+				}
+				biasGrad += g
+				baseY := oy*c.Stride - c.Pad
+				baseX := ox*c.Stride - c.Pad
+				for ci := 0; ci < c.Cin; ci++ {
+					xPlane := x.Data()[ci*h*w : (ci+1)*h*w]
+					dxPlane := dx.Data()[ci*h*w : (ci+1)*h*w]
+					wPlane := wBase[ci*kk : (ci+1)*kk]
+					for ky := 0; ky < c.K; ky++ {
+						iy := baseY + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := baseX + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wi := ky*c.K + kx
+							dxPlane[iy*w+ix] += wPlane[wi] * g
+							wPlane[wi] -= lr * xPlane[iy*w+ix] * g
+						}
+					}
+				}
+			}
+		}
+		if c.B != nil {
+			c.B[co] -= lr * biasGrad
+		}
+	}
+	return dx
+}
+
+func backwardMaxPool(p *nn.MaxPool, x, dy *tensor.Tensor) *tensor.Tensor {
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	hout, wout := dy.Dim(1), dy.Dim(2)
+	dx := tensor.New(x.Shape()...)
+	for ci := 0; ci < c; ci++ {
+		for oy := 0; oy < hout; oy++ {
+			for ox := 0; ox < wout; ox++ {
+				// Recompute the argmax of the forward pass.
+				bestY, bestX := -1, -1
+				var best float32
+				for ky := 0; ky < p.K; ky++ {
+					iy := oy*p.Stride + ky - p.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < p.K; kx++ {
+						ix := ox*p.Stride + kx - p.Pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						v := x.At(ci, iy, ix)
+						if bestY < 0 || v > best {
+							best, bestY, bestX = v, iy, ix
+						}
+					}
+				}
+				if bestY >= 0 {
+					dx.Set(dx.At(ci, bestY, bestX)+dy.At(ci, oy, ox), ci, bestY, bestX)
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,175 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"sre/internal/dataset"
+	"sre/internal/nn"
+	"sre/internal/tensor"
+	"sre/internal/xrand"
+)
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	loss, dz := softmaxCrossEntropy([]float32{0, 0, 0}, 1)
+	if math.Abs(loss-math.Log(3)) > 1e-6 {
+		t.Fatalf("uniform loss = %v, want ln 3", loss)
+	}
+	// Gradient sums to zero and is p - onehot.
+	var sum float32
+	for _, d := range dz {
+		sum += d
+	}
+	if math.Abs(float64(sum)) > 1e-6 {
+		t.Fatalf("gradient sum = %v", sum)
+	}
+	if math.Abs(float64(dz[1])-(1.0/3-1)) > 1e-6 {
+		t.Fatalf("dz[label] = %v", dz[1])
+	}
+	// Overflow safety with huge logits.
+	loss, _ = softmaxCrossEntropy([]float32{1e4, 0}, 0)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > 1e-3 {
+		t.Fatalf("big-logit loss = %v", loss)
+	}
+}
+
+// numericalGrad estimates dLoss/dw by central difference.
+func numericalGrad(net *nn.Network, x *tensor.Tensor, label int, w []float32, i int) float64 {
+	const eps = 1e-2
+	orig := w[i]
+	w[i] = orig + eps
+	lp, _ := softmaxCrossEntropy(net.Forward(x, nil).Data(), label)
+	w[i] = orig - eps
+	lm, _ := softmaxCrossEntropy(net.Forward(x, nil).Data(), label)
+	w[i] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+// TestGradientCheck compares analytic gradients (recovered from the SGD
+// update, grad = Δw/lr) against numerical differentiation on a small
+// conv+pool+fc network.
+func TestGradientCheck(t *testing.T) {
+	net, err := nn.Parse("gc", nn.Shape{1, 8, 8}, "conv3x3-pool-5-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lr = 1e-3
+	tr := New(net, lr, 42)
+	r := xrand.New(7)
+	x := tensor.New(1, 8, 8)
+	for i := range x.Data() {
+		x.Data()[i] = float32(r.Float64())
+	}
+	label := 2
+
+	infos := net.MatrixLayerInfos()
+	type probe struct {
+		w []float32
+		i int
+	}
+	var probes []probe
+	for _, li := range infos {
+		var w []float32
+		switch l := li.Layer.(type) {
+		case *nn.Conv:
+			w = l.W.Data()
+		case *nn.FC:
+			w = l.W.Data()
+		}
+		for k := 0; k < 4; k++ {
+			probes = append(probes, probe{w, r.Intn(len(w))})
+		}
+	}
+
+	numeric := make([]float64, len(probes))
+	for pi, p := range probes {
+		numeric[pi] = numericalGrad(net, x, label, p.w, p.i)
+	}
+	before := make([]float32, len(probes))
+	for pi, p := range probes {
+		before[pi] = p.w[p.i]
+	}
+	tr.Step(x, label)
+	// The loss surface has kinks (ReLU, max-pool argmax switches), so a
+	// few probes may straddle one and diverge from the central
+	// difference; require the large majority to agree tightly.
+	bad := 0
+	for pi, p := range probes {
+		analytic := float64(before[pi]-p.w[p.i]) / lr
+		diff := math.Abs(analytic - numeric[pi])
+		scale := math.Max(math.Abs(analytic)+math.Abs(numeric[pi]), 1e-3)
+		if diff/scale > 0.05 {
+			bad++
+			t.Logf("probe %d: analytic %.5f vs numeric %.5f", pi, analytic, numeric[pi])
+		}
+	}
+	if bad > len(probes)/4 {
+		t.Fatalf("%d/%d gradient probes disagree", bad, len(probes))
+	}
+}
+
+func TestStepReducesLossOnAverage(t *testing.T) {
+	net, err := nn.Parse("red", nn.Shape{1, 10, 10}, "conv3x4-pool-6-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(net, 0.05, 3)
+	r := xrand.New(5)
+	x := tensor.New(1, 10, 10)
+	for i := range x.Data() {
+		x.Data()[i] = float32(r.Float64())
+	}
+	first := tr.Step(x, 1)
+	var last float64
+	for i := 0; i < 20; i++ {
+		last = tr.Step(x, 1)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v → %v", first, last)
+	}
+}
+
+// TestLearnsSyntheticTask is the end-to-end check: a LeNet-style model
+// must learn the synthetic dataset well above chance. This is the
+// foundation of the Fig. 5 experiment.
+func TestLearnsSyntheticTask(t *testing.T) {
+	cfg := dataset.Config{Name: "t", Channels: 1, Size: 14, Classes: 4,
+		Train: 160, Test: 80, Noise: 0.06, MaxShift: 1, Seed: 11}
+	trainSet, testSet := dataset.Generate(cfg)
+	net, err := nn.Parse("mini", nn.Shape{1, 14, 14}, "conv5x6-pool-conv3x8-pool-32-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(net, 0.04, 99)
+	for epoch := 0; epoch < 10; epoch++ {
+		tr.TrainEpoch(trainSet)
+	}
+	acc := tr.Accuracy(testSet)
+	if acc < 0.85 {
+		t.Fatalf("test accuracy %.2f after training; expected > 0.85", acc)
+	}
+}
+
+func TestPredictArgmax(t *testing.T) {
+	net, err := nn.Parse("p", nn.Shape{1, 4, 4}, "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := net.MatrixLayerInfos()[0].Layer.(*nn.FC)
+	fc.B[2] = 10 // bias forces class 2 regardless of input
+	if got := Predict(net, tensor.New(1, 4, 4)); got != 2 {
+		t.Fatalf("Predict = %d", got)
+	}
+}
+
+func TestUnsupportedLayerPanics(t *testing.T) {
+	net := &nn.Network{NetName: "bad", InShape: nn.Shape{1, 4, 4},
+		Layers: []nn.Layer{&nn.AvgPool{}, nn.NewFC(1, 2)}}
+	tr := New(net, 0.01, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported layer")
+		}
+	}()
+	tr.Step(tensor.New(1, 4, 4), 0)
+}

@@ -1,0 +1,479 @@
+// Package sre is the public API of the Sparse ReRAM Engine reproduction
+// (Yang et al., "Sparse ReRAM Engine: Joint Exploration of Activation and
+// Weight Sparsity in Compressed Neural Networks", ISCA 2019).
+//
+// The library simulates DNN inference on a practical, OU-based
+// ReRAM accelerator and reports cycles, time and energy under the
+// paper's sparsity-exploitation modes:
+//
+//	net, _ := sre.LoadNetwork("VGG-16", sre.SSL, sre.DefaultConfig())
+//	res, _ := net.Run(sre.ORCDOF)
+//
+// Networks come from the paper's Table 2 (LoadNetwork) or from custom
+// topology strings (BuildNetwork). See DESIGN.md for the model and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package sre
+
+import (
+	"fmt"
+
+	"sre/internal/compress"
+	"sre/internal/core"
+	"sre/internal/energy"
+	"sre/internal/isaac"
+	"sre/internal/mapping"
+	"sre/internal/noc"
+	"sre/internal/quant"
+	"sre/internal/reram"
+	"sre/internal/workload"
+)
+
+// Mode is a sparsity-exploitation configuration (paper §6).
+type Mode int
+
+const (
+	// Baseline exploits no sparsity: every OU of every mapped weight
+	// executes for every input bit slice.
+	Baseline Mode = iota
+	// Naive removes crossbar rows whose cells are all zero.
+	Naive
+	// ReCom removes whole weight-matrix rows (ReCom [24]).
+	ReCom
+	// ORC is OU-based row compression: per-column-group zero rows are
+	// removed, with delta-encoded input indexes.
+	ORC
+	// DOF is Dynamic OU Formation: only wordlines with non-zero input
+	// bits are activated, gathered into virtual OUs at run time.
+	DOF
+	// ORCDOF combines ORC and DOF — the paper's full Sparse ReRAM Engine.
+	ORCDOF
+)
+
+// Modes lists every mode in the paper's presentation order.
+func Modes() []Mode { return []Mode{Baseline, Naive, ReCom, ORC, DOF, ORCDOF} }
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Naive:
+		return "naive"
+	case ReCom:
+		return "recom"
+	case ORC:
+		return "orc"
+	case DOF:
+		return "dof"
+	case ORCDOF:
+		return "orc+dof"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+func (m Mode) coreMode() (core.Mode, error) {
+	switch m {
+	case Baseline:
+		return core.ModeBaseline, nil
+	case Naive:
+		return core.ModeNaive, nil
+	case ReCom:
+		return core.ModeReCom, nil
+	case ORC:
+		return core.ModeORC, nil
+	case DOF:
+		return core.ModeDOF, nil
+	case ORCDOF:
+		return core.ModeORCDOF, nil
+	}
+	return core.Mode{}, fmt.Errorf("sre: unknown mode %d", int(m))
+}
+
+// PruneStyle selects the synthetic pruning the weights imitate.
+type PruneStyle int
+
+const (
+	// SSL imitates structured sparsity learning [45] — the paper's main
+	// configuration.
+	SSL PruneStyle = iota
+	// GSL imitates SkimCaffe's unstructured guided sparsity learning
+	// (the paper's Fig. 23 non-SSL study).
+	GSL
+	// Dense leaves the weights unpruned.
+	Dense
+)
+
+// Config selects the simulated hardware point. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	CrossbarSize   int // square crossbar dimension (128)
+	OUHeight       int // concurrently activated wordlines (16)
+	OUWidth        int // concurrently sensed bitlines (16)
+	WeightBits     int // weight precision (16)
+	ActivationBits int // activation precision (16)
+	CellBits       int // bits per ReRAM cell (2)
+	DACBits        int // wordline driver resolution (1)
+	IndexBits      int // input-index width; 0 = per-network Table 2 value
+	MaxWindows     int // per-layer window sampling cap; 0 = all windows
+	Seed           uint64
+}
+
+// DefaultConfig returns the paper's Table 1 design point.
+func DefaultConfig() Config {
+	return Config{
+		CrossbarSize:   128,
+		OUHeight:       16,
+		OUWidth:        16,
+		WeightBits:     16,
+		ActivationBits: 16,
+		CellBits:       2,
+		DACBits:        1,
+		IndexBits:      0,
+		MaxWindows:     48,
+		Seed:           1,
+	}
+}
+
+// WithOU returns the config with a square OU size.
+func (c Config) WithOU(s int) Config {
+	c.OUHeight, c.OUWidth = s, s
+	return c
+}
+
+func (c Config) geometry() mapping.Geometry {
+	return mapping.Geometry{XbarRows: c.CrossbarSize, XbarCols: c.CrossbarSize,
+		SWL: c.OUHeight, SBL: c.OUWidth}
+}
+
+func (c Config) params() quant.Params {
+	return quant.Params{WBits: c.WeightBits, ABits: c.ActivationBits,
+		CellBits: c.CellBits, DACBits: c.DACBits}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if err := c.geometry().Validate(); err != nil {
+		return err
+	}
+	return c.params().Validate()
+}
+
+// Breakdown splits energy by component class (joules).
+type Breakdown struct {
+	Compute      float64 // arrays, DACs, S&H, ADCs, IR/OR, shift-and-add
+	EDRAM        float64 // buffer fetches
+	Index        float64 // Index Decoder + Wordline Vector Generator
+	Interconnect float64 // inter-layer feature-map transfers over the NoC
+	Leakage      float64
+}
+
+// Total returns the summed energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.Compute + b.EDRAM + b.Index + b.Interconnect + b.Leakage
+}
+
+// LayerResult reports one layer of a run.
+type LayerResult struct {
+	Name    string
+	Cycles  int64
+	Seconds float64
+	Energy  Breakdown
+}
+
+// Result reports one network under one mode and config.
+type Result struct {
+	Network          string
+	Mode             Mode
+	Cycles           int64
+	Seconds          float64
+	Energy           Breakdown
+	CompressionRatio float64 // weight compression of the mode's scheme
+	IndexStorageBits int64   // input-index storage the scheme needs
+	Layers           []LayerResult
+}
+
+// Network is a built, simulator-ready model.
+type Network struct {
+	name  string
+	spec  workload.Spec
+	built *workload.Built
+	cfg   Config
+	style PruneStyle
+	occ   []*compress.OCCStructure // lazy, for RunOCC
+}
+
+// Networks lists the paper's Table 2 model names.
+func Networks() []string {
+	specs := workload.Specs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// LoadNetwork builds one of the paper's Table 2 networks with synthetic
+// weights/activations matching its published sparsity, pruned in the
+// given style, under the given hardware config.
+func LoadNetwork(name string, style PruneStyle, cfg Config) (*Network, error) {
+	spec, err := workload.SpecByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return buildNetwork(spec, style, cfg)
+}
+
+// BuildNetwork builds a custom model from a topology string (see
+// internal/nn.Parse grammar; e.g. "conv5x20-pool-conv5x50-pool-500-10")
+// with the given overall weight/activation sparsity targets.
+func BuildNetwork(name, topology string, inputShape []int,
+	weightSparsity, activationSparsity float64, style PruneStyle, cfg Config) (*Network, error) {
+	if len(inputShape) != 3 {
+		return nil, fmt.Errorf("sre: input shape must be [channels, height, width]")
+	}
+	spec := workload.Spec{
+		Name:           name,
+		Topology:       topology,
+		Input:          []int{inputShape[0], inputShape[1], inputShape[2]},
+		WeightSparsity: weightSparsity,
+		ActSparsity:    activationSparsity,
+		ConvSparsity:   weightSparsity,
+		FCSparsity:     weightSparsity,
+		RowFrac:        weightSparsity * 0.15,
+		SegFrac:        weightSparsity * 0.4,
+		ActOctaves:     5,
+		IndexBits:      5,
+		GSLConv:        weightSparsity,
+		GSLFC:          weightSparsity,
+	}
+	return buildNetwork(spec, style, cfg)
+}
+
+func buildNetwork(spec workload.Spec, style PruneStyle, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var mode workload.PruneMode
+	switch style {
+	case SSL:
+		mode = workload.SSL
+	case GSL:
+		mode = workload.GSL
+	case Dense:
+		mode = workload.NoPrune
+	default:
+		return nil, fmt.Errorf("sre: unknown prune style %d", int(style))
+	}
+	built, err := spec.Build(mode, cfg.params(), cfg.geometry(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{name: spec.Name, spec: spec, built: built, cfg: cfg, style: style}, nil
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// LayerCount returns the number of matrix (crossbar-mapped) layers.
+func (n *Network) LayerCount() int { return len(n.built.Layers) }
+
+// indexBits resolves the effective index width.
+func (n *Network) indexBits() int {
+	if n.cfg.IndexBits > 0 {
+		return n.cfg.IndexBits
+	}
+	return n.spec.IndexBits
+}
+
+// Run simulates the network under the given mode on this network's
+// hardware config.
+func (n *Network) Run(mode Mode) (Result, error) {
+	cm, err := mode.coreMode()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := core.Config{
+		Geometry:   n.cfg.geometry(),
+		Quant:      n.cfg.params(),
+		Mode:       cm,
+		IndexBits:  n.indexBits(),
+		MaxWindows: n.cfg.MaxWindows,
+		Energy:     energy.Default(),
+		NoC:        noc.Default(),
+	}
+	res := core.SimulateNetwork(n.built.Layers, cfg)
+	out := Result{
+		Network: n.name,
+		Mode:    mode,
+		Cycles:  res.Cycles,
+		Seconds: res.Time,
+		Energy:  Breakdown(res.Energy),
+	}
+	for _, lr := range res.Layers {
+		out.Layers = append(out.Layers, LayerResult{
+			Name: lr.Name, Cycles: lr.Cycles, Seconds: lr.Time,
+			Energy: Breakdown(lr.Energy),
+		})
+	}
+	// Compression ratio and index storage of the mode's weight scheme.
+	var totalCells, compCells int64
+	var storage int64
+	for _, l := range n.built.Layers {
+		totalCells += l.Struct.Layout.TotalCells()
+		compCells += l.Struct.CompressedCells(cm.Scheme, n.indexBits())
+		storage += l.Struct.IndexStorageBits(cm.Scheme, n.indexBits())
+	}
+	if compCells > 0 {
+		out.CompressionRatio = float64(totalCells) / float64(compCells)
+	}
+	out.IndexStorageBits = storage
+	return out, nil
+}
+
+// RunAll simulates every mode and returns results keyed by mode.
+func (n *Network) RunAll() (map[Mode]Result, error) {
+	out := make(map[Mode]Result, len(Modes()))
+	for _, m := range Modes() {
+		r, err := n.Run(m)
+		if err != nil {
+			return nil, err
+		}
+		out[m] = r
+	}
+	return out, nil
+}
+
+// RunOCC simulates the network under OU-column compression (§4.1,
+// Fig. 8(c)) — the row-compression alternative the paper rejects because
+// it needs output indexing and cannot combine with DOF (Fig. 10). The
+// per-layer OCC structures are built lazily on first call.
+func (n *Network) RunOCC() (Result, error) {
+	if n.occ == nil {
+		var mode workload.PruneMode
+		switch n.style {
+		case SSL:
+			mode = workload.SSL
+		case GSL:
+			mode = workload.GSL
+		default:
+			mode = workload.NoPrune
+		}
+		occs, err := n.spec.BuildOCCStructures(mode, n.cfg.params(), n.cfg.geometry(), n.cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		n.occ = occs
+	}
+	layers := make([]core.Layer, len(n.built.Layers))
+	copy(layers, n.built.Layers)
+	for i := range layers {
+		layers[i].OCC = n.occ[i]
+	}
+	cfg := core.Config{
+		Geometry:   n.cfg.geometry(),
+		Quant:      n.cfg.params(),
+		Mode:       core.ModeOCC,
+		IndexBits:  n.indexBits(),
+		MaxWindows: n.cfg.MaxWindows,
+		Energy:     energy.Default(),
+		NoC:        noc.Default(),
+	}
+	res := core.SimulateNetwork(layers, cfg)
+	out := Result{
+		Network: n.name,
+		Cycles:  res.Cycles,
+		Seconds: res.Time,
+		Energy:  Breakdown(res.Energy),
+	}
+	var total, comp, outBits int64
+	for i := range layers {
+		total += layers[i].Struct.Layout.TotalCells()
+		comp += n.occ[i].CompressedCells()
+		outBits += n.occ[i].OutputIndexBits()
+	}
+	if comp > 0 {
+		out.CompressionRatio = float64(total) / float64(comp)
+	}
+	out.IndexStorageBits = outBits
+	return out, nil
+}
+
+// RunISAAC simulates the network on the over-idealized ISAAC-style
+// accelerator (§7.5), optionally with ReCom weight compression.
+func (n *Network) RunISAAC(withReCom bool) Result {
+	cfg := isaac.DefaultConfig()
+	cfg.Geometry = n.cfg.geometry()
+	cfg.Quant = n.cfg.params()
+	cfg.ReCom = withReCom
+	res := isaac.SimulateNetwork(n.built.ISAACInputs(), cfg)
+	out := Result{
+		Network: n.name + "/isaac",
+		Cycles:  res.Cycles,
+		Seconds: res.Time,
+		Energy:  Breakdown(res.Energy),
+	}
+	for _, lr := range res.Layers {
+		out.Layers = append(out.Layers, LayerResult{
+			Name: lr.Name, Cycles: lr.Cycles, Seconds: lr.Time,
+			Energy: Breakdown(lr.Energy),
+		})
+	}
+	return out
+}
+
+// CompressionRatio returns the network's weight compression ratio under
+// a scheme without running a simulation.
+func (n *Network) CompressionRatio(mode Mode) (float64, error) {
+	cm, err := mode.coreMode()
+	if err != nil {
+		return 0, err
+	}
+	var total, comp int64
+	for _, l := range n.built.Layers {
+		total += l.Struct.Layout.TotalCells()
+		comp += l.Struct.CompressedCells(cm.Scheme, n.indexBits())
+	}
+	if comp == 0 {
+		comp = 1
+	}
+	return float64(total) / float64(comp), nil
+}
+
+// IdealCompressionRatio returns the Fig. 20 upper bound (every zero cell
+// removed).
+func (n *Network) IdealCompressionRatio() float64 {
+	var total, comp int64
+	for _, l := range n.built.Layers {
+		total += l.Struct.Layout.TotalCells()
+		comp += l.Struct.CompressedCells(compress.Ideal, 0)
+	}
+	if comp == 0 {
+		comp = 1
+	}
+	return float64(total) / float64(comp)
+}
+
+// Cell is a ReRAM device technology for the accuracy model (Fig. 5).
+type Cell struct {
+	Bits   int
+	RRatio float64
+	Sigma  float64
+}
+
+// BaselineCell returns the paper's WOx (R_b, σ_b) device.
+func BaselineCell() Cell {
+	c := reram.WOxBaseline()
+	return Cell{Bits: c.Bits, RRatio: c.RRatio, Sigma: c.Sigma}
+}
+
+// Improved returns the cell with k× larger R-ratio and k× smaller σ.
+func (c Cell) Improved(k float64) Cell {
+	return Cell{Bits: c.Bits, RRatio: c.RRatio * k, Sigma: c.Sigma / k}
+}
+
+// ReadErrorProbability returns the probability that a bitline read over
+// m concurrently driven wordlines is mis-sensed — the §3 mechanism that
+// forces OU-based operation.
+func (c Cell) ReadErrorProbability(m int, meanState float64) float64 {
+	rc := reram.Cell{Bits: c.Bits, RRatio: c.RRatio, Sigma: c.Sigma}
+	return rc.ReadErrorProb(m, meanState)
+}

@@ -1,0 +1,35 @@
+# Build/verify entry points. `make verify` is the tier-1 loop with the
+# race detector wired in, so the worker-pool concurrency is race-checked
+# on every change.
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench bench-sweep clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify = tier-1 (build + test) plus vet and the race detector.
+verify: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run XXX .
+
+# The tentpole's acceptance benchmark: six-mode VGG-16 sweep, serial vs
+# worker-pool (expect ≥2x at GOMAXPROCS≥4; identical results either way).
+bench-sweep:
+	$(GO) test -bench 'BenchmarkVGG16Sweep' -benchtime 2x -run XXX .
+
+clean:
+	$(GO) clean ./...

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"sre/internal/dataset"
 	"sre/internal/experiments"
 	"sre/internal/nn"
+	"sre/internal/parallel"
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/train"
@@ -36,6 +38,7 @@ func main() {
 		samples   = flag.Int("samples", 200, "test samples")
 		epochs    = flag.Int("epochs", 8, "training epochs")
 		seed      = flag.Uint64("seed", 1, "seed")
+		workers   = flag.Int("workers", 0, "evaluation worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -74,9 +77,17 @@ func main() {
 	p := quant.Default()
 	fmt.Printf("cell: R-ratio %.0f, sigma %.4f (%d-bit cells)\n", cell.RRatio, cell.Sigma, cell.Bits)
 	fmt.Printf("%-10s %-18s %s\n", "wordlines", "read-error prob", "accuracy")
-	for _, n := range ns {
-		acc := experiments.NoisyAccuracy(net, testSet, cell, n, p, xrand.New(*seed+uint64(n)))
-		fmt.Printf("%-10d %-18.3g %.1f%%\n", n, cell.ReadErrorProb(n/2, 1.5), 100*acc)
+	// Each wordline count seeds its own RNG, so the sweep shards across
+	// workers without changing any result.
+	accs := make([]float64, len(ns))
+	parallel.New(*workers).For(context.Background(), len(ns), func(start, end int) {
+		for i := start; i < end; i++ {
+			n := ns[i]
+			accs[i] = experiments.NoisyAccuracy(net, testSet, cell, n, p, xrand.New(*seed+uint64(n)))
+		}
+	})
+	for i, n := range ns {
+		fmt.Printf("%-10d %-18.3g %.1f%%\n", n, cell.ReadErrorProb(n/2, 1.5), 100*accs[i])
 	}
 	fmt.Println("\nthe paper sets the OU height to 16: the largest count that keeps")
 	fmt.Println("accuracy intact for realistic cells (Fig. 5, §3).")

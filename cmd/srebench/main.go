@@ -7,6 +7,7 @@
 //	srebench -list                      # available experiment IDs
 //	srebench -all -quick                # trimmed sweeps (small networks)
 //	srebench -experiment fig17 -windows 96 -seed 7
+//	srebench -all -workers 8            # shard simulations over 8 workers
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit tables as a JSON array instead of text")
 		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all windows)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick}
+	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick, Workers: *workers}
 
 	var ids []string
 	switch {

@@ -6,13 +6,19 @@
 //	sresim -network VGG-16 -mode orc+dof
 //	sresim -network MNIST -mode dof -ou 32 -cellbits 4 -layers
 //	sresim -network CaffeNet -prune gsl -mode orc
+//	sresim -network VGG-16 -mode orc+dof -workers 8 -progress
 //	sresim -network MNIST -isaac
+//
+// Ctrl-C cancels a long simulation promptly (the worker pool checks the
+// context between shards).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sre"
@@ -30,6 +36,8 @@ func main() {
 		dacBits  = flag.Int("dacbits", 1, "DAC resolution bits")
 		windows  = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-layer progress to stderr")
 		layers   = flag.Bool("layers", false, "print per-layer results")
 		runISAAC = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
 	)
@@ -42,21 +50,33 @@ func main() {
 		return
 	}
 
-	cfg := sre.DefaultConfig()
-	cfg.CrossbarSize = *xbar
-	cfg = cfg.WithOU(*ou)
-	cfg.CellBits = *cellBits
-	cfg.DACBits = *dacBits
-	cfg.MaxWindows = *windows
-	cfg.Seed = *seed
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	style, err := parsePrune(*pruneStr)
 	fatal(err)
 
-	net, err := sre.LoadNetwork(*network, style, cfg)
+	net, err := sre.Load(*network,
+		sre.WithPrune(style),
+		sre.WithOU(*ou),
+		sre.WithCrossbar(*xbar),
+		sre.WithCellBits(*cellBits),
+		sre.WithDACBits(*dacBits),
+		sre.WithMaxWindows(*windows),
+		sre.WithSeed(*seed),
+		sre.WithWorkers(*workers),
+	)
 	fatal(err)
 
-	base, err := net.Run(sre.Baseline)
+	var runOpts []sre.Option
+	if *progress {
+		runOpts = append(runOpts, sre.WithProgress(func(p sre.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%s] layer %d/%d done (%s)\n",
+				p.Mode, p.LayersDone, p.LayerCount, p.Layer.Name)
+		}))
+	}
+
+	base, err := net.RunContext(ctx, sre.Baseline, runOpts...)
 	fatal(err)
 	var res sre.Result
 	if strings.ToLower(*modeName) == "occ" {
@@ -65,7 +85,7 @@ func main() {
 		var mode sre.Mode
 		mode, err = parseMode(*modeName)
 		fatal(err)
-		res, err = net.Run(mode)
+		res, err = net.RunContext(ctx, mode, runOpts...)
 	}
 	fatal(err)
 

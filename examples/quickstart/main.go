@@ -12,24 +12,26 @@ import (
 )
 
 func main() {
-	cfg := sre.DefaultConfig() // Table 1: 128×128 crossbars, 16×16 OUs, 2-bit cells
-
-	net, err := sre.LoadNetwork("MNIST", sre.SSL, cfg)
+	// Table 1 defaults: 128×128 crossbars, 16×16 OUs, 2-bit cells.
+	// Options override individual knobs; WithWorkers(0) shards the
+	// simulation over all cores (results are identical at any width).
+	net, err := sre.Load("MNIST", sre.WithPrune(sre.SSL), sre.WithWorkers(0))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	results, err := net.RunAll()
+	results, err := net.RunAll() // all six modes, in sre.Modes() order
 	if err != nil {
 		log.Fatal(err)
 	}
-	base := results[sre.Baseline]
+	byMode := sre.ResultsByMode(results)
+	base := byMode[sre.Baseline]
 
 	fmt.Printf("%s on a practical OU-based ReRAM accelerator (%d matrix layers)\n\n",
 		net.Name(), net.LayerCount())
 	fmt.Printf("%-10s %12s %10s %12s %10s\n", "mode", "cycles", "speedup", "energy (J)", "vs base")
 	for _, mode := range sre.Modes() {
-		r := results[mode]
+		r := byMode[mode]
 		fmt.Printf("%-10s %12d %9.2fx %12.3e %9.1f%%\n",
 			mode, r.Cycles,
 			float64(base.Cycles)/float64(r.Cycles),
@@ -37,7 +39,7 @@ func main() {
 			100*r.Energy.Total()/base.Energy.Total())
 	}
 
-	orc := results[sre.ORC]
+	orc := byMode[sre.ORC]
 	fmt.Printf("\nORC weight compression: %.2fx (input indexes: %.1f KB)\n",
 		orc.CompressionRatio, float64(orc.IndexStorageBits)/8/1024)
 	fmt.Println("\nThe combined orc+dof row is the paper's Sparse ReRAM Engine.")

@@ -24,11 +24,22 @@
 // Large layers use deterministic window sampling (Config.MaxWindows):
 // per-tile cycle and energy sums over the sampled windows scale by
 // windows/sampled before the cross-tile maximum is taken.
+//
+// The simulator is parallel by default: window batch-work, per-tile
+// pipeline schedules, and independent layers are sharded over a shared
+// worker pool (internal/parallel, Config.Workers/Config.Pool). All
+// cross-shard state is written to disjoint, pre-sized slots and the
+// final reduction runs serially in a fixed order, so results are
+// bit-identical to a single-worker run at any pool width.
+// SimulateNetworkContext adds cancellation and per-layer progress
+// reporting on top of the same engine.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"sre/internal/bitset"
 	"sre/internal/buffer"
@@ -36,6 +47,7 @@ import (
 	"sre/internal/energy"
 	"sre/internal/mapping"
 	"sre/internal/noc"
+	"sre/internal/parallel"
 	"sre/internal/pipeline"
 	"sre/internal/quant"
 	"sre/internal/reram"
@@ -87,6 +99,35 @@ type Config struct {
 	Energy     energy.Config
 	NoC        noc.Config    // zero value disables interconnect accounting
 	Buffer     buffer.Config // zero value assumes the §5.3 one-cycle fetch
+
+	// Workers is the simulation worker-pool width (0 = GOMAXPROCS).
+	// Results are bit-identical at every width.
+	Workers int
+	// Pool, when non-nil, is the shared worker pool to draw from
+	// (overrides Workers); sweeps use it to bound total concurrency
+	// across concurrent SimulateNetwork calls.
+	Pool *parallel.Pool
+	// Progress, when non-nil, is called after each layer completes
+	// during SimulateNetworkContext. Calls are serialized but may
+	// arrive out of layer order when layers overlap.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed layer of a running network
+// simulation.
+type ProgressEvent struct {
+	Index int // layer index in the input slice
+	Count int // total layers in the simulation
+	Done  int // layers completed so far, including this one
+	Layer LayerResult
+}
+
+// pool resolves the worker pool a simulation draws from.
+func (c Config) pool() *parallel.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return parallel.New(c.Workers)
 }
 
 // DefaultConfig returns the Table 1 configuration in baseline mode.
@@ -118,6 +159,23 @@ type ActivationSource interface {
 	WindowCodes(w int, dst []uint32)
 }
 
+// SourceCloner is implemented by ActivationSources that can hand each
+// parallel worker an independent view of the same activations (sharing
+// read-only data, duplicating scratch state). Sources that do not
+// implement it are read by a single worker at a time.
+type SourceCloner interface {
+	CloneSource() ActivationSource
+}
+
+// cloneSource returns a worker-private view of src, or src itself when
+// it does not support cloning.
+func cloneSource(src ActivationSource) ActivationSource {
+	if c, ok := src.(SourceCloner); ok {
+		return c.CloneSource()
+	}
+	return src
+}
+
 // TensorSource adapts a real traced activation tensor (CHW) to an
 // ActivationSource via im2col, quantizing with a single per-layer scale.
 type TensorSource struct {
@@ -140,6 +198,16 @@ func NewTensorSource(x *tensor.Tensor, k, stride, pad, abits int) *TensorSource 
 		ts.buf = make([]float32, x.Dim(0)*k*k)
 	}
 	return ts
+}
+
+// CloneSource implements SourceCloner: the clone shares the (read-only)
+// tensor but owns its im2col scratch buffer.
+func (ts *TensorSource) CloneSource() ActivationSource {
+	c := *ts
+	if ts.buf != nil {
+		c.buf = make([]float32, len(ts.buf))
+	}
+	return &c
 }
 
 func (ts *TensorSource) Windows() int {
@@ -217,8 +285,46 @@ func (r NetworkResult) TotalOUEvents() int64 {
 }
 
 // SimulateNetwork runs every layer and sums latency (layers execute
-// sequentially) and energy.
+// sequentially on the modelled hardware) and energy. It is the
+// non-cancellable form of SimulateNetworkContext.
 func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
+	out, err := SimulateNetworkContext(context.Background(), layers, cfg)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return out
+}
+
+// SimulateNetworkContext runs every layer, overlapping independent
+// layers on the worker pool, and sums modelled latency and energy. The
+// modelled hardware still executes layers sequentially — overlap only
+// accelerates the simulation itself, and the fixed-order reduction
+// keeps results bit-identical to a single-worker run. Returns ctx.Err
+// if the context is cancelled before the simulation completes.
+func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (NetworkResult, error) {
+	pool := cfg.pool()
+	results := make([]LayerResult, len(layers))
+	var progressMu sync.Mutex
+	done := 0
+	err := pool.For(ctx, len(layers), func(start, end int) {
+		for i := start; i < end; i++ {
+			lr, err := simulateLayer(ctx, layers[i], cfg, pool)
+			if err != nil {
+				return
+			}
+			lr.Energy.Interconnect = cfg.NoC.LayerHandoffEnergy(layers[i].OutputBits)
+			results[i] = lr
+			if cfg.Progress != nil {
+				progressMu.Lock()
+				done++
+				cfg.Progress(ProgressEvent{Index: i, Count: len(layers), Done: done, Layer: lr})
+				progressMu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		return NetworkResult{}, err
+	}
 	var out NetworkResult
 	for i := 0; i < len(layers); {
 		// A run of layers sharing a non-empty ParallelGroup executes
@@ -232,8 +338,7 @@ func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
 		var maxCycles int64
 		var maxTime float64
 		for k := i; k < j; k++ {
-			lr := SimulateLayer(layers[k], cfg)
-			lr.Energy.Interconnect = cfg.NoC.LayerHandoffEnergy(layers[k].OutputBits)
+			lr := results[k]
 			out.Layers = append(out.Layers, lr)
 			out.Energy.Add(lr.Energy)
 			if lr.Cycles > maxCycles {
@@ -244,11 +349,35 @@ func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
 		out.Time += maxTime
 		i = j
 	}
-	return out
+	return out, nil
 }
 
 // SimulateLayer runs one layer under cfg.
 func SimulateLayer(l Layer, cfg Config) LayerResult {
+	lr, err := SimulateLayerContext(context.Background(), l, cfg)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
+	}
+	return lr
+}
+
+// SimulateLayerContext runs one layer under cfg, sharding its window
+// and tile loops over the worker pool.
+func SimulateLayerContext(ctx context.Context, l Layer, cfg Config) (LayerResult, error) {
+	return simulateLayer(ctx, l, cfg, cfg.pool())
+}
+
+// simulateLayer is the layer engine. It runs in three phases so that
+// parallel execution stays bit-identical to serial:
+//
+//  1. per-window batch work — OU slots and driven wordlines per tile —
+//     computed by workers over disjoint window shards (pure functions
+//     of the window, written to disjoint slots);
+//  2. per-tile pipeline schedules — each tile's tracker consumes its
+//     batches in window order, workers over disjoint tile shards;
+//  3. a serial reduction over tiles in fixed (row, column) order, the
+//     same float-accumulation order as the serial simulator.
+func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool) (LayerResult, error) {
 	if err := cfg.Quant.Validate(); err != nil {
 		panic(err)
 	}
@@ -291,6 +420,9 @@ func SimulateLayer(l Layer, cfg Config) LayerResult {
 	}
 	plans := make([][]tilePlan, lay.RowBlocks)
 	for rb := 0; rb < lay.RowBlocks; rb++ {
+		if err := ctx.Err(); err != nil {
+			return LayerResult{}, err
+		}
 		plans[rb] = make([]tilePlan, lay.ColBlocks)
 		tileRows := lay.TileRows(rb)
 		for cb := 0; cb < lay.ColBlocks; cb++ {
@@ -333,127 +465,163 @@ func SimulateLayer(l Layer, cfg Config) LayerResult {
 	}
 
 	spi := cfg.Quant.SlicesPerInput()
-	codes := make([]uint32, lay.Rows)
-	// Per-slice, per-row-block masks of non-zero input bits.
-	masks := make([][]*bitset.Set, spi)
-	for s := range masks {
-		masks[s] = make([]*bitset.Set, lay.RowBlocks)
-		for rb := range masks[s] {
-			masks[s][rb] = bitset.New(lay.TileRows(rb))
+	nTiles := lay.RowBlocks * lay.ColBlocks
+	dacMask := uint32(1)<<uint(cfg.Quant.DACBits) - 1
+
+	// Phase 1: per-window batch work, sharded over windows. Only DOF
+	// modes inspect the activations; for the static modes every window
+	// issues the same per-tile batch, so the phase is skipped entirely.
+	type batchWork struct{ ous, wl int64 }
+	var work []batchWork // indexed [wi*nTiles + rb*ColBlocks + cb]
+	if cfg.Mode.DOF {
+		work = make([]batchWork, sampled*nTiles)
+		winPool := pool
+		if _, ok := l.Acts.(SourceCloner); !ok {
+			// The source cannot give workers private views; read it
+			// from a single shard (tiles still parallelize below).
+			winPool = nil
+		}
+		err := winPool.For(ctx, sampled, func(start, end int) {
+			acts := cloneSource(l.Acts)
+			codes := make([]uint32, lay.Rows)
+			// Per-slice, per-row-block masks of non-zero input bits.
+			masks := make([][]*bitset.Set, spi)
+			for s := range masks {
+				masks[s] = make([]*bitset.Set, lay.RowBlocks)
+				for rb := range masks[s] {
+					masks[s][rb] = bitset.New(lay.TileRows(rb))
+				}
+			}
+			for wi := start; wi < end; wi++ {
+				if ctx.Err() != nil {
+					return
+				}
+				acts.WindowCodes(wi*windows/sampled, codes)
+				for s := 0; s < spi; s++ {
+					for rb := range masks[s] {
+						masks[s][rb].Reset()
+					}
+				}
+				for r, code := range codes {
+					if code == 0 {
+						continue
+					}
+					rb, tr := r/g.XbarRows, r%g.XbarRows
+					for s := 0; s < spi; s++ {
+						if code>>uint(s*cfg.Quant.DACBits)&dacMask != 0 {
+							masks[s][rb].Set(tr)
+						}
+					}
+				}
+				for rb := 0; rb < lay.RowBlocks; rb++ {
+					for cb := 0; cb < lay.ColBlocks; cb++ {
+						tp := &plans[rb][cb]
+						var batchOUs, batchWL int64
+						for s := 0; s < spi; s++ {
+							mask := masks[s][rb]
+							if cfg.Mode.Scheme == compress.Baseline {
+								nz := mask.Count()
+								if nz == 0 {
+									continue
+								}
+								c := int64(ceilDiv(nz, g.SWL))
+								batchOUs += c * int64(len(tp.groupBits))
+								batchWL += int64(nz) * int64(len(tp.groupBits))
+							} else {
+								for _, gb := range tp.groupBits {
+									nz := mask.CountAnd(gb)
+									if nz == 0 {
+										continue
+									}
+									batchOUs += int64(ceilDiv(nz, g.SWL))
+									batchWL += int64(nz)
+								}
+							}
+						}
+						work[wi*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}
+					}
+				}
+			}
+		})
+		if err != nil {
+			return LayerResult{}, err
 		}
 	}
 
-	// Per-tile accumulators.
+	// Phase 2: per-tile pipeline schedules, sharded over tiles. Each
+	// tile's tracker consumes its batches in window order — the same
+	// order (and, for the float fetch-energy sum, the same sequence of
+	// additions) as the serial simulator.
 	type tileAcc struct {
-		tracker  pipeline.Tracker
+		total    int64
+		stalls   int64
 		ouEvents int64
 		drivenWL int64
 		fetches  int64
 		fetchE   float64
 	}
-	accs := make([][]tileAcc, lay.RowBlocks)
-	for rb := range accs {
-		accs[rb] = make([]tileAcc, lay.ColBlocks)
-		if cfg.Buffer.Banks > 0 {
-			// An explicit buffer model may not sustain the §5.3
-			// one-cycle fetch; charge the fetch stage accordingly.
-			for cb := range accs[rb] {
-				tp := &plans[rb][cb]
+	accs := make([]tileAcc, nTiles)
+	err := pool.For(ctx, nTiles, func(start, end int) {
+		for t := start; t < end; t++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rb, cb := t/lay.ColBlocks, t%lay.ColBlocks
+			tp := &plans[rb][cb]
+			acc := &accs[t]
+			var tracker pipeline.Tracker
+			if cfg.Buffer.Banks > 0 {
+				// An explicit buffer model may not sustain the §5.3
+				// one-cycle fetch; charge the fetch stage accordingly.
 				totalBits := tp.fetchBits * tp.fetchGroups
-				fc := int64(1 + cfg.Buffer.StallCycles(totalBits, cycleTime))
-				accs[rb][cb].tracker.FetchCycles = fc
+				tracker.FetchCycles = int64(1 + cfg.Buffer.StallCycles(totalBits, cycleTime))
 			}
-		}
-	}
-
-	dacMask := uint32(1)<<uint(cfg.Quant.DACBits) - 1
-	for wi := 0; wi < sampled; wi++ {
-		w := wi * windows / sampled
-		l.Acts.WindowCodes(w, codes)
-		if cfg.Mode.DOF {
-			for s := 0; s < spi; s++ {
-				for rb := range masks[s] {
-					masks[s][rb].Reset()
+			staticOUs := tp.staticOUs * int64(spi)
+			staticWL := tp.staticWL * int64(spi)
+			fetchE := float64(tp.fetchGroups) * eCfg.FetchEnergy(tp.fetchBits)
+			for wi := 0; wi < sampled; wi++ {
+				batchOUs, batchWL := staticOUs, staticWL
+				if cfg.Mode.DOF {
+					bw := work[wi*nTiles+t]
+					batchOUs, batchWL = bw.ous, bw.wl
 				}
-			}
-			for r, code := range codes {
-				if code == 0 {
-					continue
-				}
-				rb, tr := r/g.XbarRows, r%g.XbarRows
-				for s := 0; s < spi; s++ {
-					if code>>uint(s*cfg.Quant.DACBits)&dacMask != 0 {
-						masks[s][rb].Set(tr)
-					}
-				}
-			}
-		}
-		for rb := 0; rb < lay.RowBlocks; rb++ {
-			for cb := 0; cb < lay.ColBlocks; cb++ {
-				tp := &plans[rb][cb]
-				acc := &accs[rb][cb]
-				var batchOUs, batchWL int64
-				if !cfg.Mode.DOF {
-					batchOUs = tp.staticOUs * int64(spi)
-					batchWL = tp.staticWL * int64(spi)
-				} else {
-					for s := 0; s < spi; s++ {
-						mask := masks[s][rb]
-						if cfg.Mode.Scheme == compress.Baseline {
-							nz := mask.Count()
-							if nz == 0 {
-								continue
-							}
-							c := int64(ceilDiv(nz, g.SWL))
-							batchOUs += c * int64(len(tp.groupBits))
-							batchWL += int64(nz) * int64(len(tp.groupBits))
-						} else {
-							for _, gb := range tp.groupBits {
-								nz := mask.CountAnd(gb)
-								if nz == 0 {
-									continue
-								}
-								batchOUs += int64(ceilDiv(nz, g.SWL))
-								batchWL += int64(nz)
-							}
-						}
-					}
-				}
-				acc.tracker.Batch(batchOUs)
+				tracker.Batch(batchOUs)
 				acc.ouEvents += batchOUs
 				acc.drivenWL += batchWL
 				acc.fetches += int64(tp.fetchGroups)
-				acc.fetchE += float64(tp.fetchGroups) * eCfg.FetchEnergy(tp.fetchBits)
+				acc.fetchE += fetchE
 			}
+			acc.total, acc.stalls = tracker.Finish()
 		}
+	})
+	if err != nil {
+		return LayerResult{}, err
 	}
 
-	// Aggregate: latency is the slowest tile; energy sums over tiles.
+	// Phase 3: serial reduction in fixed tile order — latency is the
+	// slowest tile; energy sums over tiles.
 	res := LayerResult{Name: l.Name, Windows: windows, Sampled: sampled}
 	ouBase := eCfg.OUBaseEnergy(g.SBL, adcBits)
 	wlE := eCfg.WordlineEnergy(adcBits)
 	var maxCycles, maxStalls int64
-	for rb := range accs {
-		for cb := range accs[rb] {
-			acc := &accs[rb][cb]
-			total, stalls := acc.tracker.Finish()
-			scaledCycles := int64(math.Round(float64(total) * scale))
-			if scaledCycles > maxCycles {
-				maxCycles, maxStalls = scaledCycles, int64(math.Round(float64(stalls)*scale))
-			}
-			res.OUEvents += int64(math.Round(float64(acc.ouEvents) * scale))
-			res.Fetches += int64(math.Round(float64(acc.fetches) * scale))
-			res.Energy.Compute += scale * (float64(acc.ouEvents)*ouBase + float64(acc.drivenWL)*wlE)
-			res.Energy.EDRAM += scale * acc.fetchE
-			tileTime := float64(total) * scale * cycleTime
-			res.Energy.Index += eCfg.IndexingEnergy(tileTime, reorders, cfg.Mode.DOF)
-			res.Energy.Leakage += eCfg.LeakageEnergy(tileTime)
+	for t := range accs {
+		acc := &accs[t]
+		scaledCycles := int64(math.Round(float64(acc.total) * scale))
+		if scaledCycles > maxCycles {
+			maxCycles, maxStalls = scaledCycles, int64(math.Round(float64(acc.stalls)*scale))
 		}
+		res.OUEvents += int64(math.Round(float64(acc.ouEvents) * scale))
+		res.Fetches += int64(math.Round(float64(acc.fetches) * scale))
+		res.Energy.Compute += scale * (float64(acc.ouEvents)*ouBase + float64(acc.drivenWL)*wlE)
+		res.Energy.EDRAM += scale * acc.fetchE
+		tileTime := float64(acc.total) * scale * cycleTime
+		res.Energy.Index += eCfg.IndexingEnergy(tileTime, reorders, cfg.Mode.DOF)
+		res.Energy.Leakage += eCfg.LeakageEnergy(tileTime)
 	}
 	res.Cycles = maxCycles
 	res.Stalls = maxStalls
 	res.Time = float64(maxCycles) * cycleTime
-	return res
+	return res, nil
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -101,7 +101,8 @@ func AblationOCC(opt Options) (*Table, error) {
 		sim := func(m core.Mode) core.NetworkResult {
 			return core.SimulateNetwork(layers, core.Config{
 				Geometry: g, Quant: p, Mode: m, IndexBits: spec.IndexBits,
-				MaxWindows: opt.maxWindows(), Energy: energy.Default(),
+				MaxWindows: opt.maxWindows(), Workers: opt.Workers,
+				Energy: energy.Default(),
 			})
 		}
 		base := sim(core.ModeBaseline)
@@ -156,7 +157,8 @@ func AblationBuffer(opt Options) (*Table, error) {
 		for i, bc := range buffers {
 			cfg := core.Config{Geometry: g, Quant: p, Mode: mode,
 				IndexBits: spec.IndexBits, MaxWindows: opt.maxWindows(),
-				Energy: energy.Default(), Buffer: bc.cfg}
+				Workers: opt.Workers,
+				Energy:  energy.Default(), Buffer: bc.cfg}
 			res := core.SimulateNetwork(b.Layers, cfg)
 			if i == 0 {
 				baseCycles = res.Cycles
@@ -191,8 +193,8 @@ func AblationReplication(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
-		sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt)
+		sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt)
 
 		demands := make([]chip.LayerDemand, len(b.Layers))
 		for i, l := range b.Layers {

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"sre/internal/core"
 	"sre/internal/energy"
 	"sre/internal/mapping"
+	"sre/internal/parallel"
 	"sre/internal/quant"
 	"sre/internal/workload"
 )
@@ -27,6 +29,7 @@ type Options struct {
 	Seed       uint64
 	MaxWindows int  // per-layer window sampling cap (0 → default 48)
 	Quick      bool // trim sweeps for fast CI/bench runs
+	Workers    int  // simulation worker-pool width (0 = GOMAXPROCS)
 }
 
 // DefaultOptions runs every experiment at full scope.
@@ -204,14 +207,22 @@ func build(spec workload.Spec, mode workload.PruneMode, p quant.Params, g mappin
 	return b, nil
 }
 
-// simulate runs one built network in one mode.
-func simulate(b *workload.Built, mode core.Mode, p quant.Params, g mapping.Geometry, indexBits, maxWindows int) core.NetworkResult {
+// simulate runs one built network in one mode, sharding the simulation
+// over opt's worker width.
+func simulate(b *workload.Built, mode core.Mode, p quant.Params, g mapping.Geometry, indexBits int, opt Options) core.NetworkResult {
+	return simulateOn(b, mode, p, g, indexBits, opt, nil)
+}
+
+// simulateOn is simulate drawing from a shared pool (nil = own pool).
+func simulateOn(b *workload.Built, mode core.Mode, p quant.Params, g mapping.Geometry, indexBits int, opt Options, pool *parallel.Pool) core.NetworkResult {
 	cfg := core.Config{
 		Geometry:   g,
 		Quant:      p,
 		Mode:       mode,
 		IndexBits:  indexBits,
-		MaxWindows: maxWindows,
+		MaxWindows: opt.maxWindows(),
+		Workers:    opt.Workers,
+		Pool:       pool,
 		Energy:     energy.Default(),
 	}
 	return core.SimulateNetwork(b.Layers, cfg)
@@ -223,11 +234,19 @@ var sslModes = []core.Mode{
 	core.ModeORC, core.ModeDOF, core.ModeORCDOF,
 }
 
-// modeResults runs a built network through all six modes.
-func modeResults(b *workload.Built, spec workload.Spec, p quant.Params, g mapping.Geometry, maxWindows int) map[string]core.NetworkResult {
+// modeResults runs a built network through all six modes, overlapping
+// the modes on one shared worker pool.
+func modeResults(b *workload.Built, spec workload.Spec, p quant.Params, g mapping.Geometry, opt Options) map[string]core.NetworkResult {
+	pool := parallel.New(opt.Workers)
+	res := make([]core.NetworkResult, len(sslModes))
+	pool.For(context.Background(), len(sslModes), func(start, end int) {
+		for i := start; i < end; i++ {
+			res[i] = simulateOn(b, sslModes[i], p, g, spec.IndexBits, opt, pool)
+		}
+	})
 	out := make(map[string]core.NetworkResult, len(sslModes))
-	for _, m := range sslModes {
-		out[m.String()] = simulate(b, m, p, g, spec.IndexBits, maxWindows)
+	for i, m := range sslModes {
+		out[m.String()] = res[i]
 	}
 	return out
 }

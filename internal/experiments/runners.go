@@ -25,7 +25,7 @@ func Fig17(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := modeResults(b, spec, p, g, opt.maxWindows())
+		res := modeResults(b, spec, p, g, opt)
 		base := float64(res["baseline"].Cycles)
 		row := []string{spec.Name}
 		for _, m := range []string{"naive", "recom", "orc", "dof", "orc+dof"} {
@@ -60,7 +60,7 @@ func Fig18(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := modeResults(b, spec, p, g, opt.maxWindows())
+		res := modeResults(b, spec, p, g, opt)
 		base := res["baseline"].Energy.Total()
 		for _, m := range []string{"naive", "recom", "orc", "dof", "orc+dof"} {
 			e := res[m].Energy
@@ -106,8 +106,8 @@ func Fig21(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
-			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt)
+			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt)
 			vals = append(vals, pair{base.Energy.Total(), sre.Energy.Total()})
 		}
 		for i, ou := range sizes {
@@ -138,8 +138,8 @@ func Fig22(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
-			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+			base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt)
+			sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt)
 			s := float64(base.Cycles) / float64(sre.Cycles)
 			perBPC[cb] = append(perBPC[cb], s)
 			t.AddRow(spec.Name, fmt.Sprintf("%d", cb), f2(s))
@@ -177,10 +177,10 @@ func Fig23(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
-		orc := simulate(b, core.ModeORC, p, g, spec.IndexBits, opt.maxWindows())
-		dof := simulate(b, core.ModeDOF, p, g, spec.IndexBits, opt.maxWindows())
-		both := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
+		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt)
+		orc := simulate(b, core.ModeORC, p, g, spec.IndexBits, opt)
+		dof := simulate(b, core.ModeDOF, p, g, spec.IndexBits, opt)
+		both := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt)
 		bc, be := float64(base.Cycles), base.Energy.Total()
 		t.AddRow(spec.Name,
 			f2(bc/float64(orc.Cycles)), f2(bc/float64(dof.Cycles)), f2(bc/float64(both.Cycles)),
@@ -207,8 +207,8 @@ func Fig24(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt.maxWindows())
-		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt.maxWindows())
+		sre := simulate(b, core.ModeORCDOF, p, g, spec.IndexBits, opt)
+		base := simulate(b, core.ModeBaseline, p, g, spec.IndexBits, opt)
 		icfg := isaac.DefaultConfig()
 		icfg.Geometry, icfg.Quant = g, p
 		icfg.Energy = energy.Default()

@@ -1,0 +1,94 @@
+// Package parallel is the simulator's shared worker-pool runner.
+//
+// A Pool bounds how many goroutines work at once, across nested For
+// calls: the window loop of one layer, the layers of one network, and
+// the modes of one sweep all draw workers from the same pool, so total
+// concurrency never exceeds the configured width no matter how the
+// loops nest. Extra workers are acquired with a non-blocking token
+// grab — when the pool is saturated the caller simply runs the shard
+// inline — so nested For calls can never deadlock.
+//
+// Determinism: For only partitions index space; it performs no
+// reduction. Callers write per-index (or per-shard) results into
+// pre-sized slices and reduce serially afterwards, which keeps results
+// bit-identical to a serial run regardless of worker count or
+// scheduling order.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds concurrent workers. Create one with New; a nil *Pool is
+// valid and runs everything inline on the caller's goroutine.
+type Pool struct {
+	workers int
+	sem     chan struct{} // tokens for workers beyond the caller
+}
+
+// New returns a pool of the given width. width <= 0 means GOMAXPROCS.
+func New(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: width, sem: make(chan struct{}, width-1)}
+}
+
+// Workers returns the pool's width (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// For partitions [0, n) into at most Workers() contiguous shards and
+// calls fn(start, end) on each, using the caller's goroutine plus as
+// many pool workers as are free. fn must be safe to run concurrently
+// on disjoint shards. For stops dispatching new shards once ctx is
+// cancelled (shards already running finish first) and returns ctx.Err
+// if the context was cancelled at any point, nil otherwise.
+func (p *Pool) For(ctx context.Context, n int, fn func(start, end int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	shards := p.Workers()
+	if shards > n {
+		shards = n
+	}
+	if shards == 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fn(0, n)
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			return err
+		}
+		start, end := s*n/shards, (s+1)*n/shards
+		if s == shards-1 {
+			// The caller always works the last shard itself.
+			fn(start, end)
+			break
+		}
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				fn(start, end)
+			}()
+		default:
+			// Pool saturated (e.g. a nested For): run inline.
+			fn(start, end)
+		}
+	}
+	wg.Wait()
+	return ctx.Err()
+}

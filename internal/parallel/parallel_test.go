@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 8, 64} {
+		p := New(width)
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			err := p.For(context.Background(), n, func(start, end int) {
+				for i := start; i < end; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			if err != nil {
+				t.Fatalf("width %d n %d: %v", width, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("width %d n %d: index %d hit %d times", width, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForShardsAreContiguous(t *testing.T) {
+	p := New(4)
+	var got atomic.Int64
+	err := p.For(context.Background(), 10, func(start, end int) {
+		if end <= start {
+			t.Errorf("empty shard [%d,%d)", start, end)
+		}
+		for i := start; i < end; i++ {
+			got.Add(int64(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 45 {
+		t.Fatalf("sum of indexes = %d, want 45", got.Load())
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	var count atomic.Int64
+	err := p.For(context.Background(), 8, func(start, end int) {
+		for i := start; i < end; i++ {
+			if err := p.For(context.Background(), 16, func(s, e int) {
+				count.Add(int64(e - s))
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8*16 {
+		t.Fatalf("inner iterations = %d, want %d", count.Load(), 8*16)
+	}
+}
+
+func TestForCancelledContext(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := p.For(ctx, 100, func(start, end int) { ran = true }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("dispatched a shard on a cancelled context")
+	}
+}
+
+func TestForCancelDuringRun(t *testing.T) {
+	p := New(1) // serial: cancellation observed after the single shard
+	ctx, cancel := context.WithCancel(context.Background())
+	err := p.For(ctx, 4, func(start, end int) { cancel() })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool width %d", p.Workers())
+	}
+	sum := 0
+	if err := p.For(context.Background(), 5, func(start, end int) {
+		for i := start; i < end; i++ {
+			sum += i
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

@@ -393,6 +393,11 @@ type SyntheticActs struct {
 // Windows implements core.ActivationSource.
 func (s *SyntheticActs) Windows() int { return s.NWindows }
 
+// CloneSource implements core.SourceCloner. WindowCodes derives every
+// window from the seed alone (no scratch state), so the source itself
+// is safe to share across workers.
+func (s *SyntheticActs) CloneSource() core.ActivationSource { return s }
+
 // WindowCodes implements core.ActivationSource.
 func (s *SyntheticActs) WindowCodes(w int, dst []uint32) {
 	if len(dst) != s.Rows {

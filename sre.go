@@ -6,16 +6,21 @@
 // ReRAM accelerator and reports cycles, time and energy under the
 // paper's sparsity-exploitation modes:
 //
-//	net, _ := sre.LoadNetwork("VGG-16", sre.SSL, sre.DefaultConfig())
-//	res, _ := net.Run(sre.ORCDOF)
+//	net, _ := sre.Load("VGG-16", sre.WithOU(16))
+//	res, _ := net.RunContext(ctx, sre.ORCDOF)
 //
-// Networks come from the paper's Table 2 (LoadNetwork) or from custom
-// topology strings (BuildNetwork). See DESIGN.md for the model and
+// Networks come from the paper's Table 2 (Load) or from custom
+// topology strings (Build); both accept functional options. Runs are
+// sharded over a worker pool (WithWorkers) with bit-identical results
+// at any width, and RunContext makes long sweeps cancellable and
+// observable (WithProgress). See DESIGN.md for the model and
 // EXPERIMENTS.md for the paper-vs-measured record.
 package sre
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"sre/internal/compress"
 	"sre/internal/core"
@@ -23,6 +28,7 @@ import (
 	"sre/internal/isaac"
 	"sre/internal/mapping"
 	"sre/internal/noc"
+	"sre/internal/parallel"
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/workload"
@@ -103,7 +109,9 @@ const (
 )
 
 // Config selects the simulated hardware point. The zero value is not
-// valid; start from DefaultConfig.
+// valid; start from DefaultConfig. New code should prefer the
+// functional options (WithOU, WithSeed, …) accepted by Load, Build,
+// and RunContext; WithConfig adopts a whole Config at once.
 type Config struct {
 	CrossbarSize   int // square crossbar dimension (128)
 	OUHeight       int // concurrently activated wordlines (16)
@@ -115,6 +123,7 @@ type Config struct {
 	IndexBits      int // input-index width; 0 = per-network Table 2 value
 	MaxWindows     int // per-layer window sampling cap; 0 = all windows
 	Seed           uint64
+	Workers        int // simulation worker-pool width; 0 = GOMAXPROCS
 }
 
 // DefaultConfig returns the paper's Table 1 design point.
@@ -130,6 +139,7 @@ func DefaultConfig() Config {
 		IndexBits:      0,
 		MaxWindows:     48,
 		Seed:           1,
+		Workers:        0,
 	}
 }
 
@@ -137,6 +147,88 @@ func DefaultConfig() Config {
 func (c Config) WithOU(s int) Config {
 	c.OUHeight, c.OUWidth = s, s
 	return c
+}
+
+// settings is the resolved option set a constructor or run starts from.
+type settings struct {
+	cfg      Config
+	style    PruneStyle
+	weightSp float64 // Build: overall weight-sparsity target
+	actSp    float64 // Build: overall activation-sparsity target
+	progress func(Progress)
+}
+
+// Option adjusts network construction (Load, Build) or a single run
+// (RunContext, RunAllContext). Options are applied in order.
+type Option func(*settings)
+
+// WithConfig adopts an entire Config (a hardware design point) at
+// once; later options override its fields.
+func WithConfig(cfg Config) Option { return func(s *settings) { s.cfg = cfg } }
+
+// WithPrune selects the synthetic pruning style (default SSL).
+func WithPrune(style PruneStyle) Option { return func(s *settings) { s.style = style } }
+
+// WithOU sets a square OU size (concurrently activated wordlines ×
+// sensed bitlines).
+func WithOU(size int) Option {
+	return func(s *settings) { s.cfg.OUHeight, s.cfg.OUWidth = size, size }
+}
+
+// WithCrossbar sets the square crossbar dimension.
+func WithCrossbar(size int) Option { return func(s *settings) { s.cfg.CrossbarSize = size } }
+
+// WithCellBits sets the bits stored per ReRAM cell.
+func WithCellBits(bits int) Option { return func(s *settings) { s.cfg.CellBits = bits } }
+
+// WithDACBits sets the wordline driver resolution.
+func WithDACBits(bits int) Option { return func(s *settings) { s.cfg.DACBits = bits } }
+
+// WithIndexBits overrides the input-index width (0 = the per-network
+// Table 2 value).
+func WithIndexBits(bits int) Option { return func(s *settings) { s.cfg.IndexBits = bits } }
+
+// WithSeed sets the synthetic-workload seed.
+func WithSeed(seed uint64) Option { return func(s *settings) { s.cfg.Seed = seed } }
+
+// WithMaxWindows caps per-layer window sampling (0 = all windows).
+func WithMaxWindows(n int) Option { return func(s *settings) { s.cfg.MaxWindows = n } }
+
+// WithWorkers sets the simulation worker-pool width (0 = GOMAXPROCS).
+// Results are bit-identical at any width; WithWorkers(1) forces the
+// serial path.
+func WithWorkers(n int) Option { return func(s *settings) { s.cfg.Workers = n } }
+
+// WithSparsity sets Build's overall weight and activation sparsity
+// targets (ignored by Load, whose networks carry Table 2 sparsities).
+func WithSparsity(weight, activation float64) Option {
+	return func(s *settings) { s.weightSp, s.actSp = weight, activation }
+}
+
+// WithProgress registers a callback invoked after each simulated layer
+// completes. Calls are serialized but may arrive out of layer order
+// when layers overlap on the worker pool.
+func WithProgress(fn func(Progress)) Option { return func(s *settings) { s.progress = fn } }
+
+// Progress reports one completed layer of a running simulation.
+type Progress struct {
+	Network    string
+	Mode       Mode
+	LayerIndex int // index into the network's matrix layers
+	LayerCount int
+	LayersDone int // layers completed so far, including this one
+	Layer      LayerResult
+}
+
+func defaultSettings() settings {
+	return settings{cfg: DefaultConfig(), style: SSL, weightSp: 0.5, actSp: 0.5}
+}
+
+func (s settings) apply(opts []Option) settings {
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
 }
 
 func (c Config) geometry() mapping.Geometry {
@@ -191,13 +283,17 @@ type Result struct {
 	Layers           []LayerResult
 }
 
-// Network is a built, simulator-ready model.
+// Network is a built, simulator-ready model. Its Run methods are safe
+// for concurrent use.
 type Network struct {
-	name  string
-	spec  workload.Spec
-	built *workload.Built
-	cfg   Config
-	style PruneStyle
+	name     string
+	spec     workload.Spec
+	built    *workload.Built
+	cfg      Config
+	style    PruneStyle
+	progress func(Progress)
+
+	occMu sync.Mutex
 	occ   []*compress.OCCStructure // lazy, for RunOCC
 }
 
@@ -211,63 +307,90 @@ func Networks() []string {
 	return names
 }
 
-// LoadNetwork builds one of the paper's Table 2 networks with synthetic
-// weights/activations matching its published sparsity, pruned in the
-// given style, under the given hardware config.
-func LoadNetwork(name string, style PruneStyle, cfg Config) (*Network, error) {
+// Load builds one of the paper's Table 2 networks with synthetic
+// weights/activations matching its published sparsity. Options select
+// the pruning style (default SSL) and hardware point:
+//
+//	net, err := sre.Load("VGG-16", sre.WithOU(16), sre.WithSeed(7))
+func Load(name string, opts ...Option) (*Network, error) {
 	spec, err := workload.SpecByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return buildNetwork(spec, style, cfg)
+	return buildNetwork(spec, defaultSettings().apply(opts))
 }
 
-// BuildNetwork builds a custom model from a topology string (see
-// internal/nn.Parse grammar; e.g. "conv5x20-pool-conv5x50-pool-500-10")
-// with the given overall weight/activation sparsity targets.
-func BuildNetwork(name, topology string, inputShape []int,
-	weightSparsity, activationSparsity float64, style PruneStyle, cfg Config) (*Network, error) {
+// Build builds a custom model from a topology string (see
+// internal/nn.Parse grammar; e.g. "conv5x20-pool-conv5x50-pool-500-10").
+// WithSparsity sets the overall weight/activation sparsity targets
+// (default 0.5 each).
+func Build(name, topology string, inputShape []int, opts ...Option) (*Network, error) {
 	if len(inputShape) != 3 {
 		return nil, fmt.Errorf("sre: input shape must be [channels, height, width]")
 	}
+	s := defaultSettings().apply(opts)
 	spec := workload.Spec{
 		Name:           name,
 		Topology:       topology,
 		Input:          []int{inputShape[0], inputShape[1], inputShape[2]},
-		WeightSparsity: weightSparsity,
-		ActSparsity:    activationSparsity,
-		ConvSparsity:   weightSparsity,
-		FCSparsity:     weightSparsity,
-		RowFrac:        weightSparsity * 0.15,
-		SegFrac:        weightSparsity * 0.4,
+		WeightSparsity: s.weightSp,
+		ActSparsity:    s.actSp,
+		ConvSparsity:   s.weightSp,
+		FCSparsity:     s.weightSp,
+		RowFrac:        s.weightSp * 0.15,
+		SegFrac:        s.weightSp * 0.4,
 		ActOctaves:     5,
 		IndexBits:      5,
-		GSLConv:        weightSparsity,
-		GSLFC:          weightSparsity,
+		GSLConv:        s.weightSp,
+		GSLFC:          s.weightSp,
 	}
-	return buildNetwork(spec, style, cfg)
+	return buildNetwork(spec, s)
 }
 
-func buildNetwork(spec workload.Spec, style PruneStyle, cfg Config) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
+// LoadNetwork builds a Table 2 network from a bare Config.
+//
+// Deprecated: Use Load with functional options.
+func LoadNetwork(name string, style PruneStyle, cfg Config) (*Network, error) {
+	return Load(name, WithPrune(style), WithConfig(cfg))
+}
+
+// BuildNetwork builds a custom model from a bare Config.
+//
+// Deprecated: Use Build with WithSparsity and other functional options.
+func BuildNetwork(name, topology string, inputShape []int,
+	weightSparsity, activationSparsity float64, style PruneStyle, cfg Config) (*Network, error) {
+	return Build(name, topology, inputShape,
+		WithPrune(style), WithConfig(cfg), WithSparsity(weightSparsity, activationSparsity))
+}
+
+func buildNetwork(spec workload.Spec, s settings) (*Network, error) {
+	if err := s.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var mode workload.PruneMode
-	switch style {
-	case SSL:
-		mode = workload.SSL
-	case GSL:
-		mode = workload.GSL
-	case Dense:
-		mode = workload.NoPrune
-	default:
-		return nil, fmt.Errorf("sre: unknown prune style %d", int(style))
-	}
-	built, err := spec.Build(mode, cfg.params(), cfg.geometry(), cfg.Seed)
+	mode, err := s.style.pruneMode()
 	if err != nil {
 		return nil, err
 	}
-	return &Network{name: spec.Name, spec: spec, built: built, cfg: cfg, style: style}, nil
+	built, err := spec.Build(mode, s.cfg.params(), s.cfg.geometry(), s.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{name: spec.Name, spec: spec, built: built, cfg: s.cfg,
+		style: s.style, progress: s.progress}, nil
+}
+
+// pruneMode maps the public style to the workload's, erroring on
+// unknown values.
+func (s PruneStyle) pruneMode() (workload.PruneMode, error) {
+	switch s {
+	case SSL:
+		return workload.SSL, nil
+	case GSL:
+		return workload.GSL, nil
+	case Dense:
+		return workload.NoPrune, nil
+	}
+	return 0, fmt.Errorf("sre: unknown prune style %d", int(s))
 }
 
 // Name returns the network's name.
@@ -276,31 +399,80 @@ func (n *Network) Name() string { return n.name }
 // LayerCount returns the number of matrix (crossbar-mapped) layers.
 func (n *Network) LayerCount() int { return len(n.built.Layers) }
 
-// indexBits resolves the effective index width.
-func (n *Network) indexBits() int {
-	if n.cfg.IndexBits > 0 {
-		return n.cfg.IndexBits
+// indexBits resolves the effective index width of the build config.
+func (n *Network) indexBits() int { return n.indexBitsFor(n.cfg) }
+
+func (n *Network) indexBitsFor(cfg Config) int {
+	if cfg.IndexBits > 0 {
+		return cfg.IndexBits
 	}
 	return n.spec.IndexBits
 }
 
 // Run simulates the network under the given mode on this network's
-// hardware config.
+// hardware config. It is RunContext with a background context.
 func (n *Network) Run(mode Mode) (Result, error) {
+	return n.RunContext(context.Background(), mode)
+}
+
+// RunContext simulates the network under the given mode, sharding the
+// simulation over the worker pool. Per-run options may adjust
+// run-scoped knobs (WithWorkers, WithMaxWindows, WithProgress);
+// options that would change the built network (geometry, precision,
+// seed, prune style) are rejected. The simulation stops early and
+// returns ctx.Err when the context is cancelled.
+func (n *Network) RunContext(ctx context.Context, mode Mode, opts ...Option) (Result, error) {
+	return n.runContext(ctx, mode, nil, opts)
+}
+
+// runSettings resolves per-run options against the build-time config,
+// rejecting any change that would invalidate the built structures.
+func (n *Network) runSettings(opts []Option) (settings, error) {
+	s := settings{cfg: n.cfg, style: n.style, progress: n.progress}.apply(opts)
+	if s.cfg.geometry() != n.cfg.geometry() || s.cfg.params() != n.cfg.params() ||
+		s.cfg.Seed != n.cfg.Seed || s.style != n.style {
+		return settings{}, fmt.Errorf(
+			"sre: run option would change the built network (geometry, precision, seed, or prune style); pass it to Load/Build instead")
+	}
+	return s, nil
+}
+
+func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool, opts []Option) (Result, error) {
 	cm, err := mode.coreMode()
 	if err != nil {
 		return Result{}, err
 	}
+	s, err := n.runSettings(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	indexBits := n.indexBitsFor(s.cfg)
 	cfg := core.Config{
 		Geometry:   n.cfg.geometry(),
 		Quant:      n.cfg.params(),
 		Mode:       cm,
-		IndexBits:  n.indexBits(),
-		MaxWindows: n.cfg.MaxWindows,
+		IndexBits:  indexBits,
+		MaxWindows: s.cfg.MaxWindows,
+		Workers:    s.cfg.Workers,
+		Pool:       pool,
 		Energy:     energy.Default(),
 		NoC:        noc.Default(),
 	}
-	res := core.SimulateNetwork(n.built.Layers, cfg)
+	if s.progress != nil {
+		progress := s.progress
+		cfg.Progress = func(ev core.ProgressEvent) {
+			progress(Progress{
+				Network: n.name, Mode: mode,
+				LayerIndex: ev.Index, LayerCount: ev.Count, LayersDone: ev.Done,
+				Layer: LayerResult{Name: ev.Layer.Name, Cycles: ev.Layer.Cycles,
+					Seconds: ev.Layer.Time, Energy: Breakdown(ev.Layer.Energy)},
+			})
+		}
+	}
+	res, err := core.SimulateNetworkContext(ctx, n.built.Layers, cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	out := Result{
 		Network: n.name,
 		Mode:    mode,
@@ -319,8 +491,8 @@ func (n *Network) Run(mode Mode) (Result, error) {
 	var storage int64
 	for _, l := range n.built.Layers {
 		totalCells += l.Struct.Layout.TotalCells()
-		compCells += l.Struct.CompressedCells(cm.Scheme, n.indexBits())
-		storage += l.Struct.IndexStorageBits(cm.Scheme, n.indexBits())
+		compCells += l.Struct.CompressedCells(cm.Scheme, indexBits)
+		storage += l.Struct.IndexStorageBits(cm.Scheme, indexBits)
 	}
 	if compCells > 0 {
 		out.CompressionRatio = float64(totalCells) / float64(compCells)
@@ -329,17 +501,48 @@ func (n *Network) Run(mode Mode) (Result, error) {
 	return out, nil
 }
 
-// RunAll simulates every mode and returns results keyed by mode.
-func (n *Network) RunAll() (map[Mode]Result, error) {
-	out := make(map[Mode]Result, len(Modes()))
-	for _, m := range Modes() {
-		r, err := n.Run(m)
+// RunAll simulates every mode concurrently and returns results in
+// Modes() order. It is RunAllContext with a background context.
+func (n *Network) RunAll() ([]Result, error) {
+	return n.RunAllContext(context.Background())
+}
+
+// RunAllContext simulates every mode, running the modes concurrently
+// through one shared worker pool so total concurrency stays bounded.
+// Results come back in Modes() order regardless of completion order
+// (use ResultsByMode to key them); per-run options apply to every mode.
+func (n *Network) RunAllContext(ctx context.Context, opts ...Option) ([]Result, error) {
+	s, err := n.runSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	modes := Modes()
+	pool := parallel.New(s.cfg.Workers)
+	out := make([]Result, len(modes))
+	errs := make([]error, len(modes))
+	poolErr := pool.For(ctx, len(modes), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i], errs[i] = n.runContext(ctx, modes[i], pool, opts)
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[m] = r
+	}
+	if poolErr != nil {
+		return nil, poolErr
 	}
 	return out, nil
+}
+
+// ResultsByMode keys a RunAll result slice by mode.
+func ResultsByMode(results []Result) map[Mode]Result {
+	out := make(map[Mode]Result, len(results))
+	for _, r := range results {
+		out[r.Mode] = r
+	}
+	return out
 }
 
 // RunOCC simulates the network under OU-column compression (§4.1,
@@ -347,22 +550,21 @@ func (n *Network) RunAll() (map[Mode]Result, error) {
 // it needs output indexing and cannot combine with DOF (Fig. 10). The
 // per-layer OCC structures are built lazily on first call.
 func (n *Network) RunOCC() (Result, error) {
+	n.occMu.Lock()
 	if n.occ == nil {
-		var mode workload.PruneMode
-		switch n.style {
-		case SSL:
-			mode = workload.SSL
-		case GSL:
-			mode = workload.GSL
-		default:
-			mode = workload.NoPrune
+		mode, err := n.style.pruneMode()
+		if err != nil {
+			n.occMu.Unlock()
+			return Result{}, err
 		}
 		occs, err := n.spec.BuildOCCStructures(mode, n.cfg.params(), n.cfg.geometry(), n.cfg.Seed)
 		if err != nil {
+			n.occMu.Unlock()
 			return Result{}, err
 		}
 		n.occ = occs
 	}
+	n.occMu.Unlock()
 	layers := make([]core.Layer, len(n.built.Layers))
 	copy(layers, n.built.Layers)
 	for i := range layers {
@@ -374,6 +576,7 @@ func (n *Network) RunOCC() (Result, error) {
 		Mode:       core.ModeOCC,
 		IndexBits:  n.indexBits(),
 		MaxWindows: n.cfg.MaxWindows,
+		Workers:    n.cfg.Workers,
 		Energy:     energy.Default(),
 		NoC:        noc.Default(),
 	}

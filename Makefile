@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-sweep clean
+.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep profile clean
 
 all: verify
 
@@ -20,16 +20,40 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify = tier-1 (build + test) plus vet and the race detector.
-verify: vet build race
+# bench-smoke compiles and runs every benchmark exactly once so a broken
+# benchmark can't hide until the next full `make bench`.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# verify = tier-1 (build + test) plus vet, the race detector, and the
+# benchmark smoke run.
+verify: vet build race bench-smoke
+
+# bench runs the simulator hot-path benchmarks (per-mode kernel vs
+# scalar reference, plus the six-mode VGG-16 sweep) with -benchmem and
+# records ns/op, B/op, and allocs/op per mode in BENCH_PR2.json.
 bench:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run=NONE -bench 'BenchmarkSimulateLayer|BenchmarkVGG16Sweep' \
+		-benchmem -benchtime 0.5s . | ./bin/benchjson -out BENCH_PR2.json
+
+# bench-quick: every figure/table regeneration benchmark, one iteration.
+bench-quick:
 	$(GO) test -bench . -benchtime 1x -run XXX .
 
-# The tentpole's acceptance benchmark: six-mode VGG-16 sweep, serial vs
-# worker-pool (expect ≥2x at GOMAXPROCS≥4; identical results either way).
+# The parallel engine's acceptance benchmark: six-mode VGG-16 sweep,
+# serial vs worker-pool (expect ≥2x at GOMAXPROCS≥4; identical results
+# either way).
 bench-sweep:
 	$(GO) test -bench 'BenchmarkVGG16Sweep' -benchtime 2x -run XXX .
 
+# profile captures CPU and heap profiles of a full-scope srebench run;
+# inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) build -o bin/srebench ./cmd/srebench
+	./bin/srebench -experiment fig17 -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "wrote cpu.pprof and mem.pprof (go tool pprof <file>)"
+
 clean:
 	$(GO) clean ./...
+	rm -f bin/benchjson bin/srebench cpu.pprof mem.pprof

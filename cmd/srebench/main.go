@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sre/internal/experiments"
+	"sre/internal/profiling"
 )
 
 func main() {
@@ -30,8 +31,22 @@ func main() {
 		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all windows)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srebench:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "srebench:", err)
+		}
+	}()
 
 	if *list {
 		for _, id := range experiments.IDs() {

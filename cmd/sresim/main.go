@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"sre"
+	"sre/internal/profiling"
 )
 
 func main() {
@@ -40,8 +41,19 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-layer progress to stderr")
 		layers   = flag.Bool("layers", false, "print per-layer results")
 		runISAAC = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	fatal(err)
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "sresim:", err)
+		}
+	}()
 
 	if *networks {
 		for _, n := range sre.Networks() {

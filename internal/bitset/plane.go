@@ -1,0 +1,109 @@
+// Word-plane kernels: fused popcount/gather primitives over raw
+// []uint64 word slices, used by the simulator's Dynamic-OU-Formation
+// hot loop. A "plane" is a structure-of-arrays flattening of the
+// per-group retained-row bitsets of one crossbar tile — group g's words
+// stored contiguously at [g*W : (g+1)*W] — so counting every group's
+// mask intersection is one linear pass with no per-group *Set pointer
+// chasing. Planes are built once per compression structure and shared
+// read-only by all workers.
+package bitset
+
+import "math/bits"
+
+// Words64 returns how many 64-bit words hold n bits.
+func Words64(n int) int { return (n + wordBits - 1) / wordBits }
+
+// AppendPlane appends s's backing words to plane and returns it —
+// the flattening step that packs one group's row bitset into a tile's
+// word plane.
+func AppendPlane(plane []uint64, s *Set) []uint64 {
+	return append(plane, s.words...)
+}
+
+// CountWords returns the population count of a raw word slice.
+func CountWords(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountAndPlanes computes counts[g] = popcount(mask ∩ plane group g)
+// for every group in one pass. plane holds len(counts) groups of
+// len(mask) words each (group g at plane[g*len(mask):(g+1)*len(mask)]).
+func CountAndPlanes(mask, plane []uint64, counts []int) {
+	w := len(mask)
+	if len(plane) != w*len(counts) {
+		panic("bitset: CountAndPlanes plane/mask/counts size mismatch")
+	}
+	if w == 0 {
+		for g := range counts {
+			counts[g] = 0
+		}
+		return
+	}
+	for g := range counts {
+		gw := plane[g*w : g*w+w : g*w+w]
+		c := 0
+		for i, m := range mask {
+			c += bits.OnesCount64(m & gw[i])
+		}
+		counts[g] = c
+	}
+}
+
+// BuildSliceMasks derives every activation bit-slice mask from one
+// window's quantized codes in a single sweep: bit i of masks[s] is set
+// iff codes[i] has a non-zero dacBits-wide digit at slice s. Each
+// masks[s] must hold Words64(len(codes)) words; contents are
+// overwritten. The returned bitmap has bit s set iff slice s ended up
+// non-empty (slices ≥ 64 are conservatively reported non-empty), so
+// callers can skip all-zero high slices without rescanning words.
+func BuildSliceMasks(codes []uint32, dacBits int, masks [][]uint64) uint64 {
+	nw := Words64(len(codes))
+	for s := range masks {
+		ms := masks[s][:nw]
+		for i := range ms {
+			ms[i] = 0
+		}
+	}
+	var nonEmpty uint64
+	if dacBits == 1 {
+		// One mask bit per code bit: walk only the set bits of each code.
+		limit := ^uint32(0)
+		if spi := len(masks); spi < 32 {
+			limit = uint32(1)<<uint(spi) - 1
+		}
+		for i, code := range codes {
+			if code == 0 {
+				continue
+			}
+			w, bit := i>>6, uint64(1)<<uint(i&63)
+			for c := code & limit; c != 0; c &= c - 1 {
+				s := bits.TrailingZeros32(c)
+				masks[s][w] |= bit
+				nonEmpty |= 1 << uint(s)
+			}
+		}
+		return nonEmpty
+	}
+	dacMask := uint32(1)<<uint(dacBits) - 1
+	for i, code := range codes {
+		if code == 0 {
+			continue
+		}
+		w, bit := i>>6, uint64(1)<<uint(i&63)
+		for s := range masks {
+			if code>>uint(s*dacBits)&dacMask != 0 {
+				masks[s][w] |= bit
+				if s < 64 {
+					nonEmpty |= 1 << uint(s)
+				} else {
+					nonEmpty = ^uint64(0)
+				}
+			}
+		}
+	}
+	return nonEmpty
+}

@@ -1,0 +1,269 @@
+package bitset
+
+import (
+	"testing"
+
+	"sre/internal/xrand"
+)
+
+// randomSet returns a Set of n bits with roughly density·n set, plus
+// the same content as a fresh word slice.
+func randomSet(r *xrand.RNG, n int, density float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(density) {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestCountAndPlanesMatchesCountAnd(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300) // deliberately non-word-aligned most of the time
+		groups := 1 + r.Intn(9)
+		mask := randomSet(r, n, 0.3)
+		var plane []uint64
+		sets := make([]*Set, groups)
+		for g := range sets {
+			sets[g] = randomSet(r, n, 0.5)
+			plane = AppendPlane(plane, sets[g])
+		}
+		counts := make([]int, groups)
+		CountAndPlanes(mask.Words(), plane, counts)
+		for g, want := range sets {
+			if counts[g] != mask.CountAnd(want) {
+				t.Fatalf("trial %d n=%d group %d: fused count %d != scalar %d",
+					trial, n, g, counts[g], mask.CountAnd(want))
+			}
+		}
+	}
+}
+
+func TestCountAndPlanesEmpty(t *testing.T) {
+	// Zero groups and zero-length masks must both be well-defined.
+	CountAndPlanes(nil, nil, nil)
+	counts := []int{7, 7}
+	CountAndPlanes(nil, nil, counts)
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Fatal("zero-word plane must produce zero counts")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch must panic")
+		}
+	}()
+	CountAndPlanes(make([]uint64, 2), make([]uint64, 3), counts)
+}
+
+// scalarSliceMasks is the pre-kernel reference: per-bit Set calls, one
+// slice at a time.
+func scalarSliceMasks(codes []uint32, dacBits, spi, n int) []*Set {
+	masks := make([]*Set, spi)
+	dacMask := uint32(1)<<uint(dacBits) - 1
+	for s := range masks {
+		masks[s] = New(n)
+	}
+	for i, code := range codes {
+		if code == 0 {
+			continue
+		}
+		for s := 0; s < spi; s++ {
+			if code>>uint(s*dacBits)&dacMask != 0 {
+				masks[s].Set(i)
+			}
+		}
+	}
+	return masks
+}
+
+func TestBuildSliceMasksMatchesScalar(t *testing.T) {
+	r := xrand.New(2)
+	for _, dacBits := range []int{1, 2, 4, 8} {
+		spi := 16 / dacBits
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + r.Intn(200)
+			codes := make([]uint32, n)
+			for i := range codes {
+				if !r.Bernoulli(0.4) {
+					codes[i] = uint32(r.Intn(1 << 16))
+				}
+			}
+			masks := make([][]uint64, spi)
+			for s := range masks {
+				masks[s] = make([]uint64, Words64(n))
+			}
+			nonEmpty := BuildSliceMasks(codes, dacBits, masks)
+			want := scalarSliceMasks(codes, dacBits, spi, n)
+			for s := range masks {
+				for w, word := range masks[s] {
+					if word != want[s].Words()[w] {
+						t.Fatalf("dac=%d trial %d slice %d word %d: %x != %x",
+							dacBits, trial, s, w, word, want[s].Words()[w])
+					}
+				}
+				if got := nonEmpty&(1<<uint(s)) != 0; got != (want[s].Count() > 0) {
+					t.Fatalf("dac=%d trial %d slice %d: non-empty bit %v, scalar count %d",
+						dacBits, trial, s, got, want[s].Count())
+				}
+			}
+		}
+	}
+}
+
+func TestBuildSliceMasksOverwritesStale(t *testing.T) {
+	// Reused mask buffers must not leak bits from a previous window.
+	masks := [][]uint64{{^uint64(0)}, {^uint64(0)}}
+	if nonEmpty := BuildSliceMasks(make([]uint32, 8), 1, masks); nonEmpty != 0 {
+		t.Fatalf("all-zero codes reported non-empty slices %b", nonEmpty)
+	}
+	for s := range masks {
+		if masks[s][0] != 0 {
+			t.Fatal("stale bits survived")
+		}
+	}
+}
+
+func TestCountWords(t *testing.T) {
+	if CountWords(nil) != 0 {
+		t.Fatal("empty")
+	}
+	s := New(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if CountWords(s.Words()) != 3 || CountWords(s.Words()) != s.Count() {
+		t.Fatal("CountWords disagrees with Count")
+	}
+}
+
+// ---- edge cases for the pre-existing scalar primitives ----
+
+func TestCountRangeEdges(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Set(i)
+	}
+	check := func(lo, hi, want int) {
+		t.Helper()
+		if got := s.CountRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d, %d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+	check(0, 0, 0)
+	check(64, 64, 0)
+	check(5, 5, 0)
+	check(10, 5, 0)
+	check(-5, 2, 2)
+	check(128, 500, 2) // hi clamped to Len
+	check(0, 130, 8)
+	check(63, 65, 2)   // straddles a word boundary
+	check(129, 130, 1) // final non-aligned bit
+	empty := New(0)
+	if empty.CountRange(0, 10) != 0 {
+		t.Fatal("empty set must count zero")
+	}
+}
+
+func TestCountAndEdges(t *testing.T) {
+	a, b := New(0), New(0)
+	if a.CountAnd(b) != 0 {
+		t.Fatal("empty CountAnd")
+	}
+	// Non-word-aligned length: only in-range bits may match.
+	a, b = New(70), New(70)
+	a.SetAll()
+	b.SetAll()
+	if a.CountAnd(b) != 70 {
+		t.Fatalf("CountAnd full overlap = %d, want 70", a.CountAnd(b))
+	}
+	b.Reset()
+	if a.CountAnd(b) != 0 {
+		t.Fatal("CountAnd with empty must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	a.CountAnd(New(71))
+}
+
+func TestNextSetEdges(t *testing.T) {
+	empty := New(0)
+	if empty.NextSet(0) != -1 {
+		t.Fatal("NextSet on zero-length set")
+	}
+	s := New(130)
+	if s.NextSet(0) != -1 {
+		t.Fatal("NextSet on all-zero set")
+	}
+	s.Set(129)
+	if s.NextSet(-10) != 129 { // negative start clamps to 0
+		t.Fatal("negative start")
+	}
+	if s.NextSet(129) != 129 || s.NextSet(130) != -1 || s.NextSet(1000) != -1 {
+		t.Fatal("NextSet boundary behavior")
+	}
+	s.Set(0)
+	if s.NextSet(0) != 0 || s.NextSet(1) != 129 {
+		t.Fatal("NextSet skip behavior")
+	}
+}
+
+// ---- micro-benchmarks of the kernels ----
+
+func benchPlaneData(n, groups int) (*Set, []uint64, []*Set) {
+	r := xrand.New(42)
+	mask := randomSet(r, n, 0.4)
+	var plane []uint64
+	sets := make([]*Set, groups)
+	for g := range sets {
+		sets[g] = randomSet(r, n, 0.5)
+		plane = AppendPlane(plane, sets[g])
+	}
+	return mask, plane, sets
+}
+
+func BenchmarkCountAndPerGroup(b *testing.B) {
+	mask, _, sets := benchPlaneData(128, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, s := range sets {
+			total += mask.CountAnd(s)
+		}
+		sink = total
+	}
+}
+
+func BenchmarkCountAndPlanes(b *testing.B) {
+	mask, plane, _ := benchPlaneData(128, 8)
+	counts := make([]int, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountAndPlanes(mask.Words(), plane, counts)
+		sink = counts[0]
+	}
+}
+
+func BenchmarkBuildSliceMasks(b *testing.B) {
+	r := xrand.New(7)
+	codes := make([]uint32, 128)
+	for i := range codes {
+		if !r.Bernoulli(0.5) {
+			codes[i] = uint32(r.Intn(1 << 16))
+		}
+	}
+	masks := make([][]uint64, 16)
+	for s := range masks {
+		masks[s] = make([]uint64, Words64(len(codes)))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = int(BuildSliceMasks(codes, 1, masks))
+	}
+}
+
+var sink int

@@ -29,6 +29,7 @@ import (
 	"sre/internal/mapping"
 	"sre/internal/quant"
 	"sre/internal/tensor"
+	"sre/internal/xmath"
 )
 
 // Scheme selects a weight-compression policy.
@@ -125,6 +126,9 @@ type Structure struct {
 	groups [][][]*bitset.Set
 	// nonZeroCells counts non-zero cells over the whole layer (Ideal).
 	nonZeroCells int64
+	// plans memoizes derived per-tile execution plans by
+	// (scheme, indexBits) — see PlanSet.
+	plans planCache
 }
 
 // Build scans src and constructs the structure for geometry g under
@@ -241,7 +245,7 @@ func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
 		return GroupPlan{Rows: rows}
 	}
 	if indexBits <= 0 {
-		bits := ceilLog2(s.Layout.XbarRows)
+		bits := xmath.CeilLog2(s.Layout.XbarRows)
 		return GroupPlan{Rows: rows, StorageBits: int64(len(rows)) * int64(bits)}
 	}
 	enc, err := index.Encode(rows, indexBits)
@@ -249,14 +253,6 @@ func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
 		panic(err)
 	}
 	return GroupPlan{Rows: enc.Rows, Fillers: enc.Filler, StorageBits: enc.StorageBits()}
-}
-
-func ceilLog2(n int) int {
-	b := 0
-	for 1<<uint(b) < n {
-		b++
-	}
-	return b
 }
 
 // sharedIndexGroups returns how many distinct index streams a scheme
@@ -321,7 +317,7 @@ func (s *Structure) IndexStorageBits(scheme Scheme, indexBits int) int64 {
 // indexes were kept instead — the ~4 MB comparison point the paper gives
 // for ResNet-50 (§7.2).
 func (s *Structure) AbsoluteIndexBits() int64 {
-	bits := int64(ceilLog2(s.Layout.XbarRows))
+	bits := int64(xmath.CeilLog2(s.Layout.XbarRows))
 	var total int64
 	for rb := range s.groups {
 		for cb := range s.groups[rb] {
@@ -338,7 +334,7 @@ func (s *Structure) AbsoluteIndexBits() int64 {
 // unpadded ORC compression ratio.
 func (s *Structure) ChooseIndexBits(lossFrac float64) int {
 	ref := s.CompressionRatio(ORC, 0)
-	maxBits := ceilLog2(s.Layout.XbarRows)
+	maxBits := xmath.CeilLog2(s.Layout.XbarRows)
 	for bits := 1; bits < maxBits; bits++ {
 		if s.CompressionRatio(ORC, bits) >= ref*(1-lossFrac) {
 			return bits

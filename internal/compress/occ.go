@@ -4,6 +4,7 @@ import (
 	"sre/internal/bitset"
 	"sre/internal/mapping"
 	"sre/internal/quant"
+	"sre/internal/xmath"
 )
 
 // OU-column compression (paper §4.1, Fig. 8(c)): within each OU — an
@@ -128,7 +129,7 @@ func (s *OCCStructure) CompressionRatio() float64 {
 // overhead"; the same cost structure applies to OU-column compression).
 // Each index addresses a position within the crossbar's columns.
 func (s *OCCStructure) OutputIndexBits() int64 {
-	bits := int64(ceilLog2(s.Layout.XbarCols))
+	bits := int64(xmath.CeilLog2(s.Layout.XbarCols))
 	var total int64
 	for rb := range s.cols {
 		for cb := range s.cols[rb] {

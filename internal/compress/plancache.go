@@ -1,0 +1,124 @@
+// Plan caching: a Structure memoizes, per (scheme, indexBits), the
+// fully-derived execution state of every crossbar tile — retained-row
+// plans, the word-plane flattening of the per-group row bitsets, and
+// the static OU/wordline counts the simulator's scheduling needs.
+// Before this cache the simulator rebuilt identical plans (including
+// the delta-index encoding) on every SimulateLayer call, six times per
+// RunAll sweep; now each distinct key is built exactly once per
+// Structure, concurrently-safe, and shared read-only by every mode and
+// worker.
+package compress
+
+import (
+	"sync"
+
+	"sre/internal/bitset"
+	"sre/internal/xmath"
+)
+
+// TilePlans is the cached execution state of one (rb, cb) tile under
+// one (scheme, indexBits) key. All fields are read-only after build.
+type TilePlans struct {
+	// GroupRows lists, per OU column group, the ordered tile-relative
+	// retained rows (zero-padding fillers included).
+	GroupRows [][]int
+	// Plane is the structure-of-arrays word flattening of the per-group
+	// retained-row bitsets: group g occupies words [g*Words:(g+1)*Words].
+	Plane []uint64
+	// Words is the word count of one group's row mask.
+	Words int
+	// Groups is len(GroupRows) (the plane's group count).
+	Groups int
+	// RowCount is Σ_g len(GroupRows[g]) — the per-slice driven-wordline
+	// count when every retained row executes.
+	RowCount int64
+	// OUs is Σ_g ceil(len(GroupRows[g])/S_WL) — the per-slice OU count
+	// without Dynamic OU Formation.
+	OUs int64
+}
+
+// PlanSet holds the cached tile plans of one Structure under one
+// (scheme, indexBits) key, indexed [rb][cb].
+type PlanSet struct {
+	Tiles [][]TilePlans
+}
+
+// Tile returns the cached plans of tile (rb, cb).
+func (ps *PlanSet) Tile(rb, cb int) *TilePlans { return &ps.Tiles[rb][cb] }
+
+type planKey struct {
+	scheme    Scheme
+	indexBits int
+}
+
+// planCache is the lazily-initialized per-Structure memo. Entries are
+// created under mu but built outside it via their own once, so two
+// modes racing for the same key build it once and distinct keys build
+// concurrently.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+}
+
+type planEntry struct {
+	once sync.Once
+	ps   *PlanSet
+}
+
+// PlanSet returns the cached per-tile execution plans for scheme at the
+// given index width, building them on first use. The result is shared
+// and must be treated as read-only. Baseline and Ideal ignore the index
+// width, so their entries are normalized to indexBits 0. OCC compresses
+// along the other axis and has no row plans; like Plan, this panics for
+// it.
+func (s *Structure) PlanSet(scheme Scheme, indexBits int) *PlanSet {
+	if scheme == OCC {
+		panic("compress: PlanSet does not support scheme " + scheme.String())
+	}
+	if scheme == Baseline || scheme == Ideal || indexBits < 0 {
+		indexBits = 0
+	}
+	key := planKey{scheme, indexBits}
+	s.plans.mu.Lock()
+	if s.plans.entries == nil {
+		s.plans.entries = make(map[planKey]*planEntry)
+	}
+	e := s.plans.entries[key]
+	if e == nil {
+		e = &planEntry{}
+		s.plans.entries[key] = e
+	}
+	s.plans.mu.Unlock()
+	e.once.Do(func() { e.ps = s.buildPlanSet(scheme, indexBits) })
+	return e.ps
+}
+
+func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
+	lay := s.Layout
+	ps := &PlanSet{Tiles: make([][]TilePlans, lay.RowBlocks)}
+	for rb := 0; rb < lay.RowBlocks; rb++ {
+		ps.Tiles[rb] = make([]TilePlans, lay.ColBlocks)
+		tileRows := lay.TileRows(rb)
+		words := bitset.Words64(tileRows)
+		for cb := 0; cb < lay.ColBlocks; cb++ {
+			tp := &ps.Tiles[rb][cb]
+			nGroups := lay.GroupsInTile(cb)
+			tp.Words = words
+			tp.Groups = nGroups
+			tp.GroupRows = make([][]int, nGroups)
+			tp.Plane = make([]uint64, 0, nGroups*words)
+			for gi := 0; gi < nGroups; gi++ {
+				plan := s.Plan(scheme, rb, cb, gi, indexBits)
+				tp.GroupRows[gi] = plan.Rows
+				bs := bitset.New(tileRows)
+				for _, r := range plan.Rows {
+					bs.Set(r)
+				}
+				tp.Plane = bitset.AppendPlane(tp.Plane, bs)
+				tp.RowCount += int64(len(plan.Rows))
+				tp.OUs += int64(xmath.CeilDiv(len(plan.Rows), lay.SWL))
+			}
+		}
+	}
+	return ps
+}

@@ -1,0 +1,131 @@
+package compress
+
+import (
+	"sync"
+	"testing"
+
+	"sre/internal/bitset"
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/xmath"
+	"sre/internal/xrand"
+)
+
+func cacheTestStructure(t *testing.T) *Structure {
+	t.Helper()
+	p := quant.Params{WBits: 4, ABits: 4, CellBits: 2, DACBits: 1}
+	g := mapping.Geometry{XbarRows: 32, XbarCols: 16, SWL: 4, SBL: 4}
+	r := xrand.New(3)
+	rows, cols := 70, 11 // multiple row and column blocks, ragged edges
+	codes := make([]uint32, rows*cols)
+	for i := range codes {
+		if !r.Bernoulli(0.6) {
+			codes[i] = uint32(r.Intn(16))
+		}
+	}
+	return Build(&CodeSource{Rows: rows, Cols: cols, Codes: codes}, p, g)
+}
+
+// TestPlanSetMatchesPlan checks every cached field against the direct
+// Plan computation for every scheme the cache serves.
+func TestPlanSetMatchesPlan(t *testing.T) {
+	s := cacheTestStructure(t)
+	lay := s.Layout
+	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+		indexBits := 3
+		ps := s.PlanSet(scheme, indexBits)
+		if len(ps.Tiles) != lay.RowBlocks || len(ps.Tiles[0]) != lay.ColBlocks {
+			t.Fatalf("%v: tile grid %dx%d", scheme, len(ps.Tiles), len(ps.Tiles[0]))
+		}
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			tileRows := lay.TileRows(rb)
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				tp := ps.Tile(rb, cb)
+				if tp.Groups != lay.GroupsInTile(cb) || tp.Words != bitset.Words64(tileRows) {
+					t.Fatalf("%v tile (%d,%d): groups/words wrong", scheme, rb, cb)
+				}
+				var wantRows, wantOUs int64
+				for gi := 0; gi < tp.Groups; gi++ {
+					// Baseline/Ideal normalize the key to indexBits 0.
+					wantBits := indexBits
+					if scheme == Baseline || scheme == Ideal {
+						wantBits = 0
+					}
+					plan := s.Plan(scheme, rb, cb, gi, wantBits)
+					if len(plan.Rows) != len(tp.GroupRows[gi]) {
+						t.Fatalf("%v tile (%d,%d) group %d: cached %d rows, plan %d",
+							scheme, rb, cb, gi, len(tp.GroupRows[gi]), len(plan.Rows))
+					}
+					mask := bitset.New(tileRows)
+					for i, r := range plan.Rows {
+						if tp.GroupRows[gi][i] != r {
+							t.Fatalf("%v tile (%d,%d) group %d: row order differs", scheme, rb, cb, gi)
+						}
+						mask.Set(r)
+					}
+					gw := tp.Plane[gi*tp.Words : (gi+1)*tp.Words]
+					for w := range gw {
+						if gw[w] != mask.Words()[w] {
+							t.Fatalf("%v tile (%d,%d) group %d: plane word %d mismatch", scheme, rb, cb, gi, w)
+						}
+					}
+					wantRows += int64(len(plan.Rows))
+					wantOUs += int64(xmath.CeilDiv(len(plan.Rows), lay.SWL))
+				}
+				if tp.RowCount != wantRows || tp.OUs != wantOUs {
+					t.Fatalf("%v tile (%d,%d): static counts %d/%d want %d/%d",
+						scheme, rb, cb, tp.RowCount, tp.OUs, wantRows, wantOUs)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSetMemoizes checks identity reuse per key, distinct sets per
+// distinct key, and the Baseline indexBits normalization.
+func TestPlanSetMemoizes(t *testing.T) {
+	s := cacheTestStructure(t)
+	a := s.PlanSet(ORC, 3)
+	if s.PlanSet(ORC, 3) != a {
+		t.Fatal("same key must return the cached PlanSet")
+	}
+	if s.PlanSet(ORC, 4) == a {
+		t.Fatal("different index width must build a different PlanSet")
+	}
+	if s.PlanSet(Baseline, 3) != s.PlanSet(Baseline, 0) {
+		t.Fatal("Baseline must normalize indexBits")
+	}
+}
+
+// TestPlanSetConcurrent hammers one Structure from many goroutines the
+// way RunAll's modes do; run under -race this is the cache's safety
+// proof.
+func TestPlanSetConcurrent(t *testing.T) {
+	s := cacheTestStructure(t)
+	schemes := []Scheme{Baseline, Naive, ReCom, ORC}
+	var wg sync.WaitGroup
+	results := make([]*PlanSet, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.PlanSet(schemes[i%len(schemes)], 3)
+		}(i)
+	}
+	wg.Wait()
+	for i := range results {
+		if results[i] != s.PlanSet(schemes[i%len(schemes)], 3) {
+			t.Fatal("concurrent PlanSet returned a non-cached instance")
+		}
+	}
+}
+
+func TestPlanSetRejectsOCC(t *testing.T) {
+	s := cacheTestStructure(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlanSet must reject OCC")
+		}
+	}()
+	s.PlanSet(OCC, 3)
+}

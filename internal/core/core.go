@@ -52,6 +52,7 @@ import (
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/tensor"
+	"sre/internal/xmath"
 )
 
 // Mode names a sparsity-exploitation configuration from the paper's
@@ -111,6 +112,14 @@ type Config struct {
 	// during SimulateNetworkContext. Calls are serialized but may
 	// arrive out of layer order when layers overlap.
 	Progress func(ProgressEvent)
+
+	// ScalarReference, when true, routes plan building and the DOF
+	// inner loop through the pre-kernel scalar implementation (per-call
+	// plan rebuilds, per-group bitset intersections). It exists as the
+	// golden reference the word-plane kernel path is proven
+	// bit-identical against, and as the before/after benchmark baseline
+	// — never as a production configuration.
+	ScalarReference bool
 }
 
 // ProgressEvent reports one completed layer of a running network
@@ -286,11 +295,14 @@ func (r NetworkResult) TotalOUEvents() int64 {
 
 // SimulateNetwork runs every layer and sums latency (layers execute
 // sequentially on the modelled hardware) and energy. It is the
-// non-cancellable form of SimulateNetworkContext.
+// non-cancellable form of SimulateNetworkContext and panics on the
+// configuration errors that form reports (invalid quantization,
+// geometry mismatch, OCC misuse); long-running servers should call
+// SimulateNetworkContext and handle the error.
 func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
 	out, err := SimulateNetworkContext(context.Background(), layers, cfg)
 	if err != nil {
-		panic(err) // unreachable: the background context never cancels
+		panic(err)
 	}
 	return out
 }
@@ -300,16 +312,19 @@ func SimulateNetwork(layers []Layer, cfg Config) NetworkResult {
 // modelled hardware still executes layers sequentially — overlap only
 // accelerates the simulation itself, and the fixed-order reduction
 // keeps results bit-identical to a single-worker run. Returns ctx.Err
-// if the context is cancelled before the simulation completes.
+// if the context is cancelled before the simulation completes, or the
+// first (lowest-index) layer's configuration error otherwise.
 func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (NetworkResult, error) {
 	pool := cfg.pool()
 	results := make([]LayerResult, len(layers))
+	layerErrs := make([]error, len(layers))
 	var progressMu sync.Mutex
 	done := 0
 	err := pool.For(ctx, len(layers), func(start, end int) {
 		for i := start; i < end; i++ {
 			lr, err := simulateLayer(ctx, layers[i], cfg, pool)
 			if err != nil {
+				layerErrs[i] = err
 				return
 			}
 			lr.Energy.Interconnect = cfg.NoC.LayerHandoffEnergy(layers[i].OutputBits)
@@ -324,6 +339,11 @@ func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (Ne
 	})
 	if err != nil {
 		return NetworkResult{}, err
+	}
+	for i, lerr := range layerErrs {
+		if lerr != nil {
+			return NetworkResult{}, fmt.Errorf("layer %d (%s): %w", i, layers[i].Name, lerr)
+		}
 	}
 	var out NetworkResult
 	for i := 0; i < len(layers); {
@@ -352,11 +372,12 @@ func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (Ne
 	return out, nil
 }
 
-// SimulateLayer runs one layer under cfg.
+// SimulateLayer runs one layer under cfg. It panics on the
+// configuration errors SimulateLayerContext reports.
 func SimulateLayer(l Layer, cfg Config) LayerResult {
 	lr, err := SimulateLayerContext(context.Background(), l, cfg)
 	if err != nil {
-		panic(err) // unreachable: the background context never cancels
+		panic(err)
 	}
 	return lr
 }
@@ -366,6 +387,24 @@ func SimulateLayer(l Layer, cfg Config) LayerResult {
 func SimulateLayerContext(ctx context.Context, l Layer, cfg Config) (LayerResult, error) {
 	return simulateLayer(ctx, l, cfg, cfg.pool())
 }
+
+// tilePlan is one (rb, cb) tile's per-run execution state: static
+// OU/wordline counts, eDRAM fetch shape, and — for DOF modes — the
+// retained-row masks the activation masks intersect with, either as the
+// cached word plane (kernel path) or as per-group bitsets (scalar
+// reference path).
+type tilePlan struct {
+	plans       *compress.TilePlans // cached word-plane plans (kernel path)
+	groupBits   []*bitset.Set       // scalar-reference per-group row masks
+	staticOUs   int64               // per-slice OU count without DOF
+	staticWL    int64               // per-slice driven wordlines without DOF
+	fetchGroups int                 // eDRAM fetches per batch
+	fetchBits   int                 // bits per fetch
+}
+
+// batchWork is one (window, tile) batch's DOF-dependent work, written
+// to a disjoint slot by phase 1.
+type batchWork struct{ ous, wl int64 }
 
 // simulateLayer is the layer engine. It runs in three phases so that
 // parallel execution stays bit-identical to serial:
@@ -377,15 +416,21 @@ func SimulateLayerContext(ctx context.Context, l Layer, cfg Config) (LayerResult
 //     batches in window order, workers over disjoint tile shards;
 //  3. a serial reduction over tiles in fixed (row, column) order, the
 //     same float-accumulation order as the serial simulator.
+//
+// Configuration problems (invalid quantization, a structure built for a
+// different geometry, OCC misuse) are reported as errors, not panics,
+// so sweep servers survive a bad request.
 func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool) (LayerResult, error) {
 	if err := cfg.Quant.Validate(); err != nil {
-		panic(err)
+		return LayerResult{}, err
 	}
 	st := l.Struct
 	lay := st.Layout
 	g := cfg.Geometry
 	if lay.SWL != g.SWL || lay.SBL != g.SBL || lay.XbarRows != g.XbarRows {
-		panic("core: structure was built with a different geometry")
+		return LayerResult{}, fmt.Errorf(
+			"core: layer %q: structure was built with a different geometry (layout %d/%d/%d, config %d/%d/%d)",
+			l.Name, lay.XbarRows, lay.SWL, lay.SBL, g.XbarRows, g.SWL, g.SBL)
 	}
 	adcBits := cfg.ADCBits()
 	cycleTime := cfg.CycleTime()
@@ -398,80 +443,84 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	}
 	scale := float64(windows) / float64(sampled)
 
-	// Precompute per-tile plans.
-	type tilePlan struct {
-		groupRows   [][]int       // retained rows per group (fillers included)
-		groupBits   []*bitset.Set // same as bitsets (for DOF intersection)
-		staticOUs   int64         // per-slice OU count without DOF
-		staticWL    int64         // per-slice driven wordlines without DOF
-		fetchGroups int           // eDRAM fetches per batch
-		fetchBits   int           // bits per fetch
-	}
 	reorders := cfg.Mode.Scheme != compress.Baseline
 	if cfg.Mode.Scheme == compress.OCC {
 		if cfg.Mode.DOF {
 			// Fig. 10: DOF over a column-compressed layout accumulates
 			// currents of different outputs on one bitline.
-			panic("core: OU-column compression cannot combine with DOF (paper Fig. 10)")
+			return LayerResult{}, fmt.Errorf(
+				"core: layer %q: OU-column compression cannot combine with DOF (paper Fig. 10)", l.Name)
 		}
 		if l.OCC == nil {
-			panic("core: OCC mode needs Layer.OCC (compress.BuildOCC)")
+			return LayerResult{}, fmt.Errorf(
+				"core: layer %q: OCC mode needs Layer.OCC (compress.BuildOCC)", l.Name)
 		}
 	}
-	plans := make([][]tilePlan, lay.RowBlocks)
-	for rb := 0; rb < lay.RowBlocks; rb++ {
-		if err := ctx.Err(); err != nil {
-			return LayerResult{}, err
-		}
-		plans[rb] = make([]tilePlan, lay.ColBlocks)
-		tileRows := lay.TileRows(rb)
-		for cb := 0; cb < lay.ColBlocks; cb++ {
-			tp := &plans[rb][cb]
-			nGroups := lay.GroupsInTile(cb)
-			if cfg.Mode.Scheme == compress.OCC {
+
+	// Per-tile plans. The row-compression plans (and their word-plane
+	// flattening) are memoized on the Structure per (scheme, indexBits),
+	// so RunAll's modes and repeated SimulateLayer calls share one
+	// build; only the mode-dependent fetch shape is derived here. The
+	// scalar reference path instead rebuilds everything per call, as
+	// the pre-kernel simulator did.
+	var plans [][]tilePlan
+	switch {
+	case cfg.Mode.Scheme == compress.OCC:
+		plans = make([][]tilePlan, lay.RowBlocks)
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			plans[rb] = make([]tilePlan, lay.ColBlocks)
+			tileRows := lay.TileRows(rb)
+			for cb := 0; cb < lay.ColBlocks; cb++ {
 				// Column compression keeps every row mapped; the OU count
 				// per slice comes from the per-band retained columns.
+				tp := &plans[rb][cb]
 				tp.staticOUs = int64(l.OCC.OUsPerTileSlice(rb, cb))
 				tp.staticWL = tp.staticOUs * int64(g.SWL)
 				tp.fetchGroups = 1 // input order unchanged
 				tp.fetchBits = tileRows * cfg.Quant.ABits
-				continue
 			}
-			tp.groupRows = make([][]int, nGroups)
-			tp.groupBits = make([]*bitset.Set, nGroups)
-			for gi := 0; gi < nGroups; gi++ {
-				plan := st.Plan(cfg.Mode.Scheme, rb, cb, gi, cfg.IndexBits)
-				tp.groupRows[gi] = plan.Rows
-				bs := bitset.New(tileRows)
-				for _, r := range plan.Rows {
-					bs.Set(r)
+		}
+	case cfg.ScalarReference:
+		var err error
+		plans, err = scalarTilePlans(ctx, l, cfg)
+		if err != nil {
+			return LayerResult{}, err
+		}
+	default:
+		ps := st.PlanSet(cfg.Mode.Scheme, cfg.IndexBits)
+		plans = make([][]tilePlan, lay.RowBlocks)
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			if err := ctx.Err(); err != nil {
+				return LayerResult{}, err
+			}
+			plans[rb] = make([]tilePlan, lay.ColBlocks)
+			tileRows := lay.TileRows(rb)
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				tp := &plans[rb][cb]
+				tp.plans = ps.Tile(rb, cb)
+				tp.staticOUs = tp.plans.OUs
+				tp.staticWL = tp.plans.RowCount
+				// ORC reorders inputs per column group, so every group
+				// issues its own batch fetch (paper §4.1, the Fig. 18
+				// eDRAM effect); input-order-preserving modes fetch the
+				// batch once. Each fetch reads the full batch's buffer
+				// lines — gather happens at the IR, not inside the eDRAM.
+				if cfg.Mode.Scheme == compress.ORC {
+					tp.fetchGroups = tp.plans.Groups
+				} else {
+					tp.fetchGroups = 1
 				}
-				tp.groupBits[gi] = bs
-				tp.staticOUs += int64(ceilDiv(len(plan.Rows), g.SWL))
-				tp.staticWL += int64(len(plan.Rows))
+				tp.fetchBits = tileRows * cfg.Quant.ABits
 			}
-			// ORC reorders inputs per column group, so every group issues
-			// its own batch fetch (paper §4.1, the Fig. 18 eDRAM effect);
-			// input-order-preserving modes fetch the batch once. Each
-			// fetch reads the full batch's buffer lines — gather happens
-			// at the IR, not inside the eDRAM.
-			if cfg.Mode.Scheme == compress.ORC {
-				tp.fetchGroups = nGroups
-			} else {
-				tp.fetchGroups = 1
-			}
-			tp.fetchBits = tileRows * cfg.Quant.ABits
 		}
 	}
 
 	spi := cfg.Quant.SlicesPerInput()
 	nTiles := lay.RowBlocks * lay.ColBlocks
-	dacMask := uint32(1)<<uint(cfg.Quant.DACBits) - 1
 
 	// Phase 1: per-window batch work, sharded over windows. Only DOF
 	// modes inspect the activations; for the static modes every window
 	// issues the same per-tile batch, so the phase is skipped entirely.
-	type batchWork struct{ ous, wl int64 }
 	var work []batchWork // indexed [wi*nTiles + rb*ColBlocks + cb]
 	if cfg.Mode.DOF {
 		work = make([]batchWork, sampled*nTiles)
@@ -481,69 +530,11 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			// from a single shard (tiles still parallelize below).
 			winPool = nil
 		}
-		err := winPool.For(ctx, sampled, func(start, end int) {
-			acts := cloneSource(l.Acts)
-			codes := make([]uint32, lay.Rows)
-			// Per-slice, per-row-block masks of non-zero input bits.
-			masks := make([][]*bitset.Set, spi)
-			for s := range masks {
-				masks[s] = make([]*bitset.Set, lay.RowBlocks)
-				for rb := range masks[s] {
-					masks[s][rb] = bitset.New(lay.TileRows(rb))
-				}
-			}
-			for wi := start; wi < end; wi++ {
-				if ctx.Err() != nil {
-					return
-				}
-				acts.WindowCodes(wi*windows/sampled, codes)
-				for s := 0; s < spi; s++ {
-					for rb := range masks[s] {
-						masks[s][rb].Reset()
-					}
-				}
-				for r, code := range codes {
-					if code == 0 {
-						continue
-					}
-					rb, tr := r/g.XbarRows, r%g.XbarRows
-					for s := 0; s < spi; s++ {
-						if code>>uint(s*cfg.Quant.DACBits)&dacMask != 0 {
-							masks[s][rb].Set(tr)
-						}
-					}
-				}
-				for rb := 0; rb < lay.RowBlocks; rb++ {
-					for cb := 0; cb < lay.ColBlocks; cb++ {
-						tp := &plans[rb][cb]
-						var batchOUs, batchWL int64
-						for s := 0; s < spi; s++ {
-							mask := masks[s][rb]
-							if cfg.Mode.Scheme == compress.Baseline {
-								nz := mask.Count()
-								if nz == 0 {
-									continue
-								}
-								c := int64(ceilDiv(nz, g.SWL))
-								batchOUs += c * int64(len(tp.groupBits))
-								batchWL += int64(nz) * int64(len(tp.groupBits))
-							} else {
-								for _, gb := range tp.groupBits {
-									nz := mask.CountAnd(gb)
-									if nz == 0 {
-										continue
-									}
-									batchOUs += int64(ceilDiv(nz, g.SWL))
-									batchWL += int64(nz)
-								}
-							}
-						}
-						work[wi*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}
-					}
-				}
-			}
-		})
-		if err != nil {
+		phase1 := kernelPhase1(ctx, l, cfg, plans, work, sampled, windows)
+		if cfg.ScalarReference {
+			phase1 = scalarPhase1(ctx, l, cfg, plans, work, sampled, windows)
+		}
+		if err := winPool.For(ctx, sampled, phase1); err != nil {
 			return LayerResult{}, err
 		}
 	}
@@ -624,4 +615,98 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	return res, nil
 }
 
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
+// kernelPhase1 returns the word-plane phase-1 shard body: for each
+// window in the shard it derives all activation bit-slice masks in one
+// sweep (bitset.BuildSliceMasks), then counts every column group's
+// retained-row intersection with one fused pass per slice over the
+// tile's cached word plane (bitset.CountAndPlanes). All scratch is
+// allocated once per shard and every result lands in a disjoint work
+// slot, so the phase stays bit-identical at any worker count.
+func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
+	work []batchWork, sampled, windows int) func(start, end int) {
+	lay := l.Struct.Layout
+	g := cfg.Geometry
+	spi := cfg.Quant.SlicesPerInput()
+	nTiles := lay.RowBlocks * lay.ColBlocks
+	baseline := cfg.Mode.Scheme == compress.Baseline
+	return func(start, end int) {
+		acts := cloneSource(l.Acts)
+		codes := make([]uint32, lay.Rows)
+		// One backing array holds every (row block, slice) mask.
+		maxWords := bitset.Words64(g.XbarRows)
+		backing := make([]uint64, lay.RowBlocks*spi*maxWords)
+		masks := make([][][]uint64, lay.RowBlocks) // [rb][s] -> word mask
+		for rb := range masks {
+			masks[rb] = make([][]uint64, spi)
+			words := bitset.Words64(lay.TileRows(rb))
+			for s := 0; s < spi; s++ {
+				off := (rb*spi + s) * maxWords
+				masks[rb][s] = backing[off : off+words]
+			}
+		}
+		nonEmpty := make([]uint64, lay.RowBlocks)
+		maxGroups := 0
+		for cb := 0; cb < lay.ColBlocks; cb++ {
+			if n := lay.GroupsInTile(cb); n > maxGroups {
+				maxGroups = n
+			}
+		}
+		counts := make([]int, maxGroups)
+		// With baseline weights every group keeps all rows, so one
+		// popcount per (row block, slice) serves every tile.
+		var sliceNZ []int
+		if baseline {
+			sliceNZ = make([]int, lay.RowBlocks*spi)
+		}
+		for wi := start; wi < end; wi++ {
+			if ctx.Err() != nil {
+				return
+			}
+			acts.WindowCodes(wi*windows/sampled, codes)
+			for rb := 0; rb < lay.RowBlocks; rb++ {
+				lo := rb * g.XbarRows
+				hi := lo + lay.TileRows(rb)
+				nonEmpty[rb] = bitset.BuildSliceMasks(codes[lo:hi], cfg.Quant.DACBits, masks[rb])
+				if baseline {
+					for s := 0; s < spi; s++ {
+						nz := 0
+						if s >= 64 || nonEmpty[rb]&(1<<uint(s)) != 0 {
+							nz = bitset.CountWords(masks[rb][s])
+						}
+						sliceNZ[rb*spi+s] = nz
+					}
+				}
+			}
+			for rb := range plans {
+				for cb := range plans[rb] {
+					tp := &plans[rb][cb]
+					var batchOUs, batchWL int64
+					for s := 0; s < spi; s++ {
+						if s < 64 && nonEmpty[rb]&(1<<uint(s)) == 0 {
+							continue
+						}
+						if baseline {
+							nz := sliceNZ[rb*spi+s]
+							if nz == 0 {
+								continue
+							}
+							batchOUs += int64(xmath.CeilDiv(nz, g.SWL)) * int64(tp.plans.Groups)
+							batchWL += int64(nz) * int64(tp.plans.Groups)
+							continue
+						}
+						cnt := counts[:tp.plans.Groups]
+						bitset.CountAndPlanes(masks[rb][s], tp.plans.Plane, cnt)
+						for _, nz := range cnt {
+							if nz == 0 {
+								continue
+							}
+							batchOUs += int64(xmath.CeilDiv(nz, g.SWL))
+							batchWL += int64(nz)
+						}
+					}
+					work[wi*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}
+				}
+			}
+		}
+	}
+}

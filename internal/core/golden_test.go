@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/xrand"
+)
+
+// cloneableSource is a sliceSource whose workers get private views, so
+// the golden test exercises the parallel phase-1 shards too.
+type cloneableSource struct{ sliceSource }
+
+func (c *cloneableSource) CloneSource() ActivationSource {
+	d := *c
+	return &d
+}
+
+// goldenLayer builds a multi-tile layer: 200 rows → two row blocks
+// (128 + a non-word-aligned 72), 20 logical columns → 160 physical →
+// two column blocks, sparse weights and activations, several windows.
+func goldenLayer(t *testing.T) Layer {
+	t.Helper()
+	p := quant.Default()
+	g := mapping.Default()
+	st, _, _ := smallCase(13, 200, 20, p, g, 0.65, 0)
+	r := xrand.New(17)
+	src := &cloneableSource{}
+	for w := 0; w < 9; w++ {
+		v := make([]uint32, 200)
+		for i := range v {
+			if !r.Bernoulli(0.55) {
+				v[i] = uint32(r.Intn(1 << 16))
+			}
+		}
+		src.rows = append(src.rows, v)
+	}
+	return Layer{Name: "golden", Struct: st, Acts: src}
+}
+
+// TestGoldenKernelMatchesScalar is the tentpole's bit-identity proof:
+// for every mode and worker count, the word-plane kernel path must
+// produce exactly the results of the retained scalar reference — same
+// Cycles, Stalls, OUEvents, Fetches, and bit-for-bit the same Energy
+// floats.
+func TestGoldenKernelMatchesScalar(t *testing.T) {
+	layer := goldenLayer(t)
+	ctx := context.Background()
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.MaxWindows = 0
+			cfg.Workers = workers
+			kernel, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d kernel: %v", mode, workers, err)
+			}
+			cfg.ScalarReference = true
+			scalar, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d scalar: %v", mode, workers, err)
+			}
+			if kernel != scalar {
+				t.Fatalf("%v workers=%d: kernel %+v != scalar %+v", mode, workers, kernel, scalar)
+			}
+		}
+	}
+}
+
+// TestGoldenSampledWindows repeats the identity with window sampling
+// engaged (sampled stride indexing is part of the phase-1 contract).
+func TestGoldenSampledWindows(t *testing.T) {
+	layer := goldenLayer(t)
+	ctx := context.Background()
+	for _, mode := range []Mode{ModeDOF, ModeORCDOF} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.MaxWindows = 4
+		cfg.Workers = 3
+		kernel, err := SimulateLayerContext(ctx, layer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ScalarReference = true
+		scalar, err := SimulateLayerContext(ctx, layer, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kernel != scalar {
+			t.Fatalf("%v sampled: kernel %+v != scalar %+v", mode, kernel, scalar)
+		}
+	}
+}
+
+// TestGeometryMismatchErrors pins the error-instead-of-panic contract
+// for structures built under a different geometry.
+func TestGeometryMismatchErrors(t *testing.T) {
+	layer := goldenLayer(t)
+	cfg := DefaultConfig()
+	cfg.Geometry = cfg.Geometry.WithOU(32)
+	if _, err := SimulateLayerContext(context.Background(), layer, cfg); err == nil {
+		t.Fatal("expected a geometry-mismatch error")
+	}
+	if _, err := SimulateNetworkContext(context.Background(), []Layer{layer}, cfg); err == nil {
+		t.Fatal("expected the network engine to surface the mismatch")
+	}
+	cfg = DefaultConfig()
+	cfg.Quant.DACBits = 3 // 16 % 3 != 0
+	if _, err := SimulateLayerContext(context.Background(), layer, cfg); err == nil {
+		t.Fatal("expected a quantization validation error")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sre/internal/buffer"
@@ -58,29 +59,34 @@ func TestOCCModeSpeedsUpColumnStructure(t *testing.T) {
 	}
 }
 
-func TestOCCPlusDOFPanics(t *testing.T) {
+func TestOCCPlusDOFErrors(t *testing.T) {
 	l := buildOCCCase(t, 2)
 	cfg := DefaultConfig()
 	cfg.Mode = Mode{Scheme: compress.OCC, DOF: true}
+	if _, err := SimulateLayerContext(context.Background(), l, cfg); err == nil {
+		t.Fatal("expected the Fig. 10 hazard to be rejected with an error")
+	}
+	// The non-context wrapper turns the same error into a panic.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected the Fig. 10 hazard to be rejected")
+			t.Fatal("SimulateLayer must panic on the Fig. 10 hazard")
 		}
 	}()
 	SimulateLayer(l, cfg)
 }
 
-func TestOCCWithoutStructurePanics(t *testing.T) {
+func TestOCCWithoutStructureErrors(t *testing.T) {
 	l := buildOCCCase(t, 3)
 	l.OCC = nil
 	cfg := DefaultConfig()
 	cfg.Mode = ModeOCC
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for missing OCC structure")
-		}
-	}()
-	SimulateLayer(l, cfg)
+	if _, err := SimulateLayerContext(context.Background(), l, cfg); err == nil {
+		t.Fatal("expected an error for missing OCC structure")
+	}
+	// Through the network engine the error names the failing layer.
+	if _, err := SimulateNetworkContext(context.Background(), []Layer{l}, cfg); err == nil {
+		t.Fatal("expected the network engine to surface the layer error")
+	}
 }
 
 // TestOCCCycleFormula pins the static OU count: per tile, per slice,

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"sre/internal/quant"
+	"sre/internal/xmath"
 )
 
 // Geometry is the crossbar/OU configuration of Table 1.
@@ -70,12 +71,10 @@ func NewLayout(rows, cols int, p quant.Params, g Geometry) Layout {
 		LogicalCols: cols,
 		CPW:         cpw,
 		PhysCols:    phys,
-		RowBlocks:   ceilDiv(rows, g.XbarRows),
-		ColBlocks:   ceilDiv(phys, g.XbarCols),
+		RowBlocks:   xmath.CeilDiv(rows, g.XbarRows),
+		ColBlocks:   xmath.CeilDiv(phys, g.XbarCols),
 	}
 }
-
-func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // TileRows returns the number of cell rows in row block rb.
 func (l Layout) TileRows(rb int) int {
@@ -102,7 +101,7 @@ func clampSpan(block, size, total int) int {
 // GroupsInTile returns the number of S_BL-wide column groups in column
 // block cb (the last group of the last block may be narrower).
 func (l Layout) GroupsInTile(cb int) int {
-	return ceilDiv(l.TileCols(cb), l.SBL)
+	return xmath.CeilDiv(l.TileCols(cb), l.SBL)
 }
 
 // GroupCols returns the physical-column range [lo, hi) — relative to the
@@ -120,7 +119,7 @@ func (l Layout) GroupCols(cb, gi int) (lo, hi int) {
 // for one input batch and one bit slice without any compression:
 // groups × ceil(tileRows/S_WL).
 func (l Layout) OUsPerTileBaseline(rb, cb int) int {
-	return l.GroupsInTile(cb) * ceilDiv(l.TileRows(rb), l.SWL)
+	return l.GroupsInTile(cb) * xmath.CeilDiv(l.TileRows(rb), l.SWL)
 }
 
 // TotalArrays returns how many crossbar arrays the layer occupies.

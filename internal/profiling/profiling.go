@@ -1,0 +1,50 @@
+// Package profiling wires the runtime/pprof profilers into the CLIs
+// (srebench, sresim) behind -cpuprofile/-memprofile flags, so hot-path
+// work can be profiled without a test harness (`make profile`).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the stop
+// function (a no-op when path is empty). Call the stop function before
+// the process exits or the profile will be truncated.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an up-to-date heap profile to path (a no-op when
+// path is empty).
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC() // get up-to-date allocation statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,16 @@
+// Package xmath holds the small integer-math helpers shared by the
+// mapping, compression, and simulation packages (previously duplicated
+// as unexported ceilDiv/ceilLog2 copies in each).
+package xmath
+
+// CeilDiv returns ceil(a / b) for b > 0.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// CeilLog2 returns the smallest k with 2^k >= n (0 for n <= 1).
+func CeilLog2(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,27 @@
+package xmath
+
+import "testing"
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {3, 2, 2},
+		{127, 64, 2}, {128, 64, 2}, {129, 64, 3}, {16, 16, 1}, {17, 16, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{127, 7}, {128, 7}, {129, 8}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

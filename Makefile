@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep profile clean
+# Where `make bench` records its machine-readable results. Each PR's
+# bench run gets its own file (BENCH_PR2.json, BENCH_PR3.json, …) so the
+# history stays comparable; override on the command line:
+#   make bench BENCH_OUT=BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR3.json
+
+.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep results profile clean
 
 all: verify
 
@@ -31,21 +37,29 @@ verify: vet build race bench-smoke
 
 # bench runs the simulator hot-path benchmarks (per-mode kernel vs
 # scalar reference, plus the six-mode VGG-16 sweep) with -benchmem and
-# records ns/op, B/op, and allocs/op per mode in BENCH_PR2.json.
+# records ns/op, B/op, and allocs/op per mode in $(BENCH_OUT).
 bench:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run=NONE -bench 'BenchmarkSimulateLayer|BenchmarkVGG16Sweep' \
-		-benchmem -benchtime 0.5s . | ./bin/benchjson -out BENCH_PR2.json
+		-benchmem -benchtime 0.5s . | ./bin/benchjson -out $(BENCH_OUT)
 
 # bench-quick: every figure/table regeneration benchmark, one iteration.
 bench-quick:
-	$(GO) test -bench . -benchtime 1x -run XXX .
+	$(GO) test -bench . -benchtime 1x -run=NONE .
 
 # The parallel engine's acceptance benchmark: six-mode VGG-16 sweep,
 # serial vs worker-pool (expect ≥2x at GOMAXPROCS≥4; identical results
 # either way).
 bench-sweep:
-	$(GO) test -bench 'BenchmarkVGG16Sweep' -benchtime 2x -run XXX .
+	$(GO) test -bench 'BenchmarkVGG16Sweep' -benchtime 2x -run=NONE .
+
+# results regenerates the full experiment record (every table/figure,
+# paper order) from the current code. The output is not tracked — run
+# this when EXPERIMENTS.md needs fresh numbers (~12 min on 1 CPU).
+results:
+	$(GO) build -o bin/srebench ./cmd/srebench
+	./bin/srebench -all > results_full.txt
+	@echo "wrote results_full.txt"
 
 # profile captures CPU and heap profiles of a full-scope srebench run;
 # inspect with `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.

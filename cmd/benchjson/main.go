@@ -1,11 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON record, teeing the raw text through to stdout
 // so it still reads like a normal bench run. `make bench` uses it to
-// emit BENCH_PR2.json — the repo's benchmark trajectory record.
+// emit the per-PR BENCH_*.json files — the repo's benchmark trajectory
+// record (see the Makefile's BENCH_OUT variable).
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run XXX . | benchjson -out BENCH_PR2.json
+//	go test -bench . -benchmem -run=NONE . | benchjson -out BENCH_PR3.json
 package main
 
 import (

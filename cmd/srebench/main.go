@@ -8,6 +8,7 @@
 //	srebench -all -quick                # trimmed sweeps (small networks)
 //	srebench -experiment fig17 -windows 96 -seed 7
 //	srebench -all -workers 8            # shard simulations over 8 workers
+//	srebench -experiment fig17 -metrics run.json  # run-metrics snapshot
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"sre/internal/experiments"
+	"sre/internal/metrics"
 	"sre/internal/profiling"
 )
 
@@ -33,6 +35,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsF   = flag.String("metrics", "", "write a run-metrics snapshot to this file")
+		metricsFmt = flag.String("metrics-format", "json", "metrics snapshot format: json|prom")
 	)
 	flag.Parse()
 
@@ -55,6 +59,9 @@ func main() {
 		return
 	}
 	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick, Workers: *workers}
+	if *metricsF != "" {
+		opt.Metrics = metrics.NewRegistry()
+	}
 
 	var ids []string
 	switch {
@@ -90,4 +97,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if opt.Metrics != nil {
+		if err := writeMetrics(*metricsF, *metricsFmt, opt.Metrics.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "srebench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(path, format string, snap *metrics.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		err = snap.WriteJSON(f)
+	case "prom":
+		err = snap.WritePrometheus(f)
+	default:
+		err = fmt.Errorf("unknown -metrics-format %q (want json or prom)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

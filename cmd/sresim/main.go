@@ -7,6 +7,8 @@
 //	sresim -network MNIST -mode dof -ou 32 -cellbits 4 -layers
 //	sresim -network CaffeNet -prune gsl -mode orc
 //	sresim -network VGG-16 -mode orc+dof -workers 8 -progress
+//	sresim -network VGG-16 -mode orc+dof -metrics run.json
+//	sresim -network MNIST -mode dof -metrics run.prom -metrics-format prom
 //	sresim -network MNIST -isaac
 //
 // Ctrl-C cancels a long simulation promptly (the worker pool checks the
@@ -27,22 +29,24 @@ import (
 
 func main() {
 	var (
-		network  = flag.String("network", "MNIST", "network name (see -networks) ")
-		networks = flag.Bool("networks", false, "list available networks")
-		modeName = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
-		pruneStr = flag.String("prune", "ssl", "ssl|gsl|dense")
-		ou       = flag.Int("ou", 16, "square OU size")
-		xbar     = flag.Int("crossbar", 128, "crossbar dimension")
-		cellBits = flag.Int("cellbits", 2, "bits per ReRAM cell")
-		dacBits  = flag.Int("dacbits", 1, "DAC resolution bits")
-		windows  = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		workers  = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report per-layer progress to stderr")
-		layers   = flag.Bool("layers", false, "print per-layer results")
-		runISAAC = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		network    = flag.String("network", "MNIST", "network name (see -networks)")
+		networks   = flag.Bool("networks", false, "list available networks")
+		modeName   = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
+		pruneStr   = flag.String("prune", "ssl", "ssl|gsl|dense")
+		ou         = flag.Int("ou", 16, "square OU size")
+		xbar       = flag.Int("crossbar", 128, "crossbar dimension")
+		cellBits   = flag.Int("cellbits", 2, "bits per ReRAM cell")
+		dacBits    = flag.Int("dacbits", 1, "DAC resolution bits")
+		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "report per-layer progress to stderr")
+		layers     = flag.Bool("layers", false, "print per-layer results")
+		runISAAC   = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsF   = flag.String("metrics", "", "write a run-metrics snapshot to this file")
+		metricsFmt = flag.String("metrics-format", "json", "metrics snapshot format: json|prom")
 	)
 	flag.Parse()
 
@@ -83,16 +87,21 @@ func main() {
 	var runOpts []sre.Option
 	if *progress {
 		runOpts = append(runOpts, sre.WithProgress(func(p sre.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%s] layer %d/%d done (%s)\n",
-				p.Mode, p.LayersDone, p.LayerCount, p.Layer.Name)
+			fmt.Fprintf(os.Stderr, "  [%s] layer %d/%d done (%s, %d OU events, %d/%d windows)\n",
+				p.Mode, p.LayersDone, p.LayerCount, p.Layer.Name, p.OUEvents, p.Sampled, p.Windows)
 		}))
+	}
+	var reg *sre.Metrics
+	if *metricsF != "" {
+		reg = sre.NewMetrics()
+		runOpts = append(runOpts, sre.WithMetrics(reg))
 	}
 
 	base, err := net.RunContext(ctx, sre.Baseline, runOpts...)
 	fatal(err)
 	var res sre.Result
 	if strings.ToLower(*modeName) == "occ" {
-		res, err = net.RunOCC()
+		res, err = net.RunOCC(runOpts...)
 	} else {
 		var mode sre.Mode
 		mode, err = parseMode(*modeName)
@@ -100,6 +109,10 @@ func main() {
 		res, err = net.RunContext(ctx, mode, runOpts...)
 	}
 	fatal(err)
+
+	if reg != nil {
+		fatal(writeMetrics(*metricsF, *metricsFmt, reg.Snapshot()))
+	}
 
 	fmt.Printf("network   %s (%d matrix layers, prune %s)\n", net.Name(), net.LayerCount(), *pruneStr)
 	fmt.Printf("mode      %s\n", strings.ToLower(*modeName))
@@ -145,6 +158,25 @@ func parsePrune(s string) (sre.PruneStyle, error) {
 		return sre.Dense, nil
 	}
 	return 0, fmt.Errorf("unknown prune style %q", s)
+}
+
+func writeMetrics(path, format string, snap *sre.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		err = snap.WriteJSON(f)
+	case "prom":
+		err = snap.WritePrometheus(f)
+	default:
+		err = fmt.Errorf("unknown -metrics-format %q (want json or prom)", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

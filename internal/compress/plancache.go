@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sre/internal/bitset"
+	"sre/internal/metrics"
 	"sre/internal/xmath"
 )
 
@@ -65,6 +66,18 @@ type planEntry struct {
 	ps   *PlanSet
 }
 
+// CacheMetrics carries the optional plan-cache observability counters a
+// caller wants fed (all fields may be nil — metrics.Counter methods are
+// nil-safe). Hits and Misses split lookups by whether the (scheme,
+// indexBits) entry already existed; Builds counts plan constructions
+// actually executed. Exactly one lookup creates each distinct key, so
+// for a fixed workload the merged totals are deterministic regardless
+// of which mode's goroutine wins the race: misses == builds == distinct
+// keys, hits == lookups − distinct keys.
+type CacheMetrics struct {
+	Hits, Misses, Builds *metrics.Counter
+}
+
 // PlanSet returns the cached per-tile execution plans for scheme at the
 // given index width, building them on first use. The result is shared
 // and must be treated as read-only. Baseline and Ideal ignore the index
@@ -72,6 +85,11 @@ type planEntry struct {
 // along the other axis and has no row plans; like Plan, this panics for
 // it.
 func (s *Structure) PlanSet(scheme Scheme, indexBits int) *PlanSet {
+	return s.PlanSetMetered(scheme, indexBits, CacheMetrics{})
+}
+
+// PlanSetMetered is PlanSet feeding the given cache counters.
+func (s *Structure) PlanSetMetered(scheme Scheme, indexBits int, cm CacheMetrics) *PlanSet {
 	if scheme == OCC {
 		panic("compress: PlanSet does not support scheme " + scheme.String())
 	}
@@ -87,9 +105,15 @@ func (s *Structure) PlanSet(scheme Scheme, indexBits int) *PlanSet {
 	if e == nil {
 		e = &planEntry{}
 		s.plans.entries[key] = e
+		cm.Misses.Inc()
+	} else {
+		cm.Hits.Inc()
 	}
 	s.plans.mu.Unlock()
-	e.once.Do(func() { e.ps = s.buildPlanSet(scheme, indexBits) })
+	e.once.Do(func() {
+		cm.Builds.Inc()
+		e.ps = s.buildPlanSet(scheme, indexBits)
+	})
 	return e.ps
 }
 

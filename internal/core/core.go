@@ -46,6 +46,7 @@ import (
 	"sre/internal/compress"
 	"sre/internal/energy"
 	"sre/internal/mapping"
+	"sre/internal/metrics"
 	"sre/internal/noc"
 	"sre/internal/parallel"
 	"sre/internal/pipeline"
@@ -113,6 +114,14 @@ type Config struct {
 	// arrive out of layer order when layers overlap.
 	Progress func(ProgressEvent)
 
+	// Metrics, when non-nil, receives run observability: OU
+	// activations, wordline-occupancy histograms, window sampling,
+	// plan-cache traffic, and pool utilization. Hot loops write to
+	// worker-private shards; nothing the registry records feeds back
+	// into the simulation, so Cycles/Energy stay bit-identical to an
+	// unmetered run.
+	Metrics *metrics.Registry
+
 	// ScalarReference, when true, routes plan building and the DOF
 	// inner loop through the pre-kernel scalar implementation (per-call
 	// plan rebuilds, per-group bitset intersections). It exists as the
@@ -131,12 +140,80 @@ type ProgressEvent struct {
 	Layer LayerResult
 }
 
-// pool resolves the worker pool a simulation draws from.
+// pool resolves the worker pool a simulation draws from, switching on
+// its execution accounting when the run is metered.
 func (c Config) pool() *parallel.Pool {
-	if c.Pool != nil {
-		return c.Pool
+	p := c.Pool
+	if p == nil {
+		p = parallel.New(c.Workers)
 	}
-	return parallel.New(c.Workers)
+	if c.Metrics != nil {
+		p.EnableStats()
+	}
+	return p
+}
+
+// occupancyBounds are the wordline-occupancy histogram buckets. S_WL
+// never exceeds 128 in any modelled geometry, so the top bucket always
+// covers a full OU.
+var occupancyBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// occName returns the per-mode occupancy histogram name.
+func occName(m Mode) string {
+	return fmt.Sprintf("sre_core_ou_occupancy{mode=%q}", m.String())
+}
+
+// observeOccupancy records the wordline fill of the OUs serving one
+// column group with nz driven rows: nz/swl full OUs and, if nz is not a
+// multiple of swl, one partial OU — repeated for reps identical groups.
+func observeOccupancy(occ *metrics.Histogram, nz, swl int, reps int64) {
+	if f := nz / swl; f > 0 {
+		occ.ObserveN(int64(swl), int64(f)*reps)
+	}
+	if r := nz % swl; r > 0 {
+		occ.ObserveN(int64(r), reps)
+	}
+}
+
+// recordStaticOccupancy feeds occ the fixed per-slice OU fill of one
+// tile's plans — without DOF every slice drives the same retained rows,
+// so one pass over the plans, repeated reps = slices×windows times,
+// replaces a per-window scan. OCC keeps every row mapped, so its OUs
+// are full by construction.
+func recordStaticOccupancy(occ *metrics.Histogram, tp *tilePlan, swl int, reps int64) {
+	switch {
+	case tp.plans != nil:
+		for _, rows := range tp.plans.GroupRows {
+			observeOccupancy(occ, len(rows), swl, reps)
+		}
+	case tp.groupBits != nil:
+		for _, gb := range tp.groupBits {
+			observeOccupancy(occ, gb.Count(), swl, reps)
+		}
+	default:
+		occ.ObserveN(int64(swl), tp.staticOUs*reps)
+	}
+}
+
+// publishPoolMetrics records the pool's cumulative accounting as
+// max-gauges. Gauges merge by maximum and the stats are monotonic, so
+// repeated publishes from a shared pool (RunAll's six modes, nested
+// sweeps) converge on the final totals instead of double-counting.
+func publishPoolMetrics(reg *metrics.Registry, pool *parallel.Pool) {
+	if reg == nil {
+		return
+	}
+	st := pool.Stats()
+	if st == nil {
+		return
+	}
+	sh := reg.Shard()
+	sh.Gauge("sre_parallel_pool_width").Set(int64(pool.Workers()))
+	sh.Gauge("sre_parallel_for_calls").Set(st.ForCalls.Load())
+	sh.Gauge("sre_parallel_items").Set(st.Items.Load())
+	sh.Gauge("sre_parallel_shards_inline").Set(st.ShardsInline.Load())
+	sh.Gauge("sre_parallel_shards_spawned").Set(st.ShardsSpawned.Load())
+	sh.Gauge("sre_parallel_spawn_wait_ns").Set(st.SpawnWaitNanos.Load())
 }
 
 // DefaultConfig returns the Table 1 configuration in baseline mode.
@@ -345,6 +422,7 @@ func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (Ne
 			return NetworkResult{}, fmt.Errorf("layer %d (%s): %w", i, layers[i].Name, lerr)
 		}
 	}
+	publishPoolMetrics(cfg.Metrics, pool)
 	var out NetworkResult
 	for i := 0; i < len(layers); {
 		// A run of layers sharing a non-empty ParallelGroup executes
@@ -435,6 +513,11 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	adcBits := cfg.ADCBits()
 	cycleTime := cfg.CycleTime()
 	eCfg := cfg.Energy
+	// msh is this layer call's private metrics shard (nil when the run
+	// is unmetered — every cell operation on the nil chain is a no-op).
+	// Layers overlap on the pool, so shard-per-layer keeps the serial
+	// phase-3 writes race-free without locks.
+	msh := cfg.Metrics.Shard()
 
 	windows := l.Acts.Windows()
 	sampled := windows
@@ -487,7 +570,11 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			return LayerResult{}, err
 		}
 	default:
-		ps := st.PlanSet(cfg.Mode.Scheme, cfg.IndexBits)
+		ps := st.PlanSetMetered(cfg.Mode.Scheme, cfg.IndexBits, compress.CacheMetrics{
+			Hits:   msh.Counter("sre_compress_plan_cache_hits_total"),
+			Misses: msh.Counter("sre_compress_plan_cache_misses_total"),
+			Builds: msh.Counter("sre_compress_plan_cache_builds_total"),
+		})
 		plans = make([][]tilePlan, lay.RowBlocks)
 		for rb := 0; rb < lay.RowBlocks; rb++ {
 			if err := ctx.Err(); err != nil {
@@ -594,7 +681,14 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	res := LayerResult{Name: l.Name, Windows: windows, Sampled: sampled}
 	ouBase := eCfg.OUBaseEnergy(g.SBL, adcBits)
 	wlE := eCfg.WordlineEnergy(adcBits)
-	var maxCycles, maxStalls int64
+	var maxCycles, maxStalls, scaledWL int64
+	var staticOcc *metrics.Histogram
+	if msh != nil && !cfg.Mode.DOF {
+		// DOF occupancy is activation-dependent and recorded in phase 1;
+		// static modes drive the same retained rows every slice, so the
+		// histogram is derived once per tile from the plans here.
+		staticOcc = msh.Histogram(occName(cfg.Mode), occupancyBounds)
+	}
 	for t := range accs {
 		acc := &accs[t]
 		scaledCycles := int64(math.Round(float64(acc.total) * scale))
@@ -608,10 +702,33 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 		tileTime := float64(acc.total) * scale * cycleTime
 		res.Energy.Index += eCfg.IndexingEnergy(tileTime, reorders, cfg.Mode.DOF)
 		res.Energy.Leakage += eCfg.LeakageEnergy(tileTime)
+		if msh != nil {
+			scaledWL += int64(math.Round(float64(acc.drivenWL) * scale))
+			if staticOcc != nil {
+				rb, cb := t/lay.ColBlocks, t%lay.ColBlocks
+				recordStaticOccupancy(staticOcc, &plans[rb][cb], g.SWL, int64(spi)*int64(sampled))
+			}
+		}
 	}
 	res.Cycles = maxCycles
 	res.Stalls = maxStalls
 	res.Time = float64(maxCycles) * cycleTime
+	if msh != nil {
+		// Per-layer totals, scaled by the window-sampling factor exactly
+		// like the LayerResult fields, so the counters reconcile with the
+		// reported Cycles/OUEvents. Occupancy histograms, by contrast,
+		// hold raw per-sampled-window observations (unscaled).
+		mode := cfg.Mode.String()
+		msh.Counter(fmt.Sprintf("sre_core_layers_total{mode=%q}", mode)).Inc()
+		msh.Counter(fmt.Sprintf("sre_core_windows_total{mode=%q}", mode)).Add(int64(windows))
+		msh.Counter(fmt.Sprintf("sre_core_windows_simulated_total{mode=%q}", mode)).Add(int64(sampled))
+		msh.Counter(fmt.Sprintf("sre_core_windows_skipped_total{mode=%q}", mode)).Add(int64(windows - sampled))
+		msh.Counter(fmt.Sprintf("sre_core_ou_activations_total{mode=%q}", mode)).Add(res.OUEvents)
+		msh.Counter(fmt.Sprintf("sre_core_driven_wordlines_total{mode=%q}", mode)).Add(scaledWL)
+		msh.Counter(fmt.Sprintf("sre_core_fetches_total{mode=%q}", mode)).Add(res.Fetches)
+		msh.Counter(fmt.Sprintf("sre_core_layer_cycles_total{mode=%q}", mode)).Add(res.Cycles)
+		msh.Counter(fmt.Sprintf("sre_core_stall_cycles_total{mode=%q}", mode)).Add(res.Stalls)
+	}
 	return res, nil
 }
 
@@ -652,6 +769,13 @@ func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 			}
 		}
 		counts := make([]int, maxGroups)
+		// Shard-private occupancy histogram (nil when unmetered: the
+		// whole recording block is skipped by one branch per group, and
+		// the name is never even formatted).
+		var occ *metrics.Histogram
+		if cfg.Metrics != nil {
+			occ = cfg.Metrics.Shard().Histogram(occName(cfg.Mode), occupancyBounds)
+		}
 		// With baseline weights every group keeps all rows, so one
 		// popcount per (row block, slice) serves every tile.
 		var sliceNZ []int
@@ -692,6 +816,9 @@ func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 							}
 							batchOUs += int64(xmath.CeilDiv(nz, g.SWL)) * int64(tp.plans.Groups)
 							batchWL += int64(nz) * int64(tp.plans.Groups)
+							if occ != nil {
+								observeOccupancy(occ, nz, g.SWL, int64(tp.plans.Groups))
+							}
 							continue
 						}
 						cnt := counts[:tp.plans.Groups]
@@ -702,6 +829,9 @@ func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 							}
 							batchOUs += int64(xmath.CeilDiv(nz, g.SWL))
 							batchWL += int64(nz)
+							if occ != nil {
+								observeOccupancy(occ, nz, g.SWL, 1)
+							}
 						}
 					}
 					work[wi*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}

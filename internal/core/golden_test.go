@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"sre/internal/mapping"
+	"sre/internal/metrics"
 	"sre/internal/quant"
 	"sre/internal/xrand"
 )
@@ -92,6 +94,83 @@ func TestGoldenSampledWindows(t *testing.T) {
 		}
 		if kernel != scalar {
 			t.Fatalf("%v sampled: kernel %+v != scalar %+v", mode, kernel, scalar)
+		}
+	}
+}
+
+// TestGoldenMeteredIdentical pins the observability guarantee: a run
+// with a metrics registry attached produces exactly the LayerResult of
+// an unmetered run — same Cycles, Stalls, OUEvents, Fetches, and
+// bit-for-bit the same Energy floats — for every mode at several worker
+// counts. It also reconciles the recorded counters against the result:
+// with sampling disabled the OU-activation counter and the occupancy
+// histogram's observation count must both equal the layer's OUEvents.
+func TestGoldenMeteredIdentical(t *testing.T) {
+	layer := goldenLayer(t)
+	ctx := context.Background()
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.MaxWindows = 0
+			cfg.Workers = workers
+			plain, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d unmetered: %v", mode, workers, err)
+			}
+			cfg.Metrics = metrics.NewRegistry()
+			metered, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d metered: %v", mode, workers, err)
+			}
+			if metered != plain {
+				t.Fatalf("%v workers=%d: metered %+v != unmetered %+v", mode, workers, metered, plain)
+			}
+			snap := cfg.Metrics.Snapshot()
+			ouName := fmt.Sprintf("sre_core_ou_activations_total{mode=%q}", mode.String())
+			if got := snap.Counters[ouName]; got != plain.OUEvents {
+				t.Fatalf("%v workers=%d: %s = %d, want %d", mode, workers, ouName, got, plain.OUEvents)
+			}
+			occ, ok := snap.Histograms[occName(mode)]
+			if !ok {
+				t.Fatalf("%v workers=%d: occupancy histogram missing", mode, workers)
+			}
+			if occ.Count != plain.OUEvents {
+				t.Fatalf("%v workers=%d: occupancy observations %d, want OUEvents %d",
+					mode, workers, occ.Count, plain.OUEvents)
+			}
+			winName := fmt.Sprintf("sre_core_windows_simulated_total{mode=%q}", mode.String())
+			if got := snap.Counters[winName]; got != int64(plain.Sampled) {
+				t.Fatalf("%v workers=%d: %s = %d, want %d", mode, workers, winName, got, plain.Sampled)
+			}
+		}
+	}
+}
+
+// TestGoldenMeteredScalarOccupancy pins the scalar reference path to the
+// same occupancy observations as the kernel path.
+func TestGoldenMeteredScalarOccupancy(t *testing.T) {
+	layer := goldenLayer(t)
+	ctx := context.Background()
+	for _, mode := range []Mode{ModeNaive, ModeDOF, ModeORCDOF} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.MaxWindows = 0
+		cfg.Workers = 2
+		cfg.Metrics = metrics.NewRegistry()
+		if _, err := SimulateLayerContext(ctx, layer, cfg); err != nil {
+			t.Fatal(err)
+		}
+		kernel := cfg.Metrics.Snapshot().Histograms[occName(mode)]
+		cfg.ScalarReference = true
+		cfg.Metrics = metrics.NewRegistry()
+		if _, err := SimulateLayerContext(ctx, layer, cfg); err != nil {
+			t.Fatal(err)
+		}
+		scalar := cfg.Metrics.Snapshot().Histograms[occName(mode)]
+		if fmt.Sprint(kernel) != fmt.Sprint(scalar) {
+			t.Fatalf("%v: kernel occupancy %+v != scalar %+v", mode, kernel, scalar)
 		}
 	}
 }

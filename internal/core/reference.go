@@ -11,6 +11,7 @@ import (
 
 	"sre/internal/bitset"
 	"sre/internal/compress"
+	"sre/internal/metrics"
 	"sre/internal/xmath"
 )
 
@@ -66,6 +67,12 @@ func scalarPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 	return func(start, end int) {
 		acts := cloneSource(l.Acts)
 		codes := make([]uint32, lay.Rows)
+		// Same shard-private occupancy recording as kernelPhase1, so the
+		// metered scalar path observes identical occupancy.
+		var occ *metrics.Histogram
+		if cfg.Metrics != nil {
+			occ = cfg.Metrics.Shard().Histogram(occName(cfg.Mode), occupancyBounds)
+		}
 		// Per-slice, per-row-block masks of non-zero input bits.
 		masks := make([][]*bitset.Set, spi)
 		for s := range masks {
@@ -109,6 +116,9 @@ func scalarPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 							c := int64(xmath.CeilDiv(nz, g.SWL))
 							batchOUs += c * int64(len(tp.groupBits))
 							batchWL += int64(nz) * int64(len(tp.groupBits))
+							if occ != nil {
+								observeOccupancy(occ, nz, g.SWL, int64(len(tp.groupBits)))
+							}
 						} else {
 							for _, gb := range tp.groupBits {
 								nz := mask.CountAnd(gb)
@@ -117,6 +127,9 @@ func scalarPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 								}
 								batchOUs += int64(xmath.CeilDiv(nz, g.SWL))
 								batchWL += int64(nz)
+								if occ != nil {
+									observeOccupancy(occ, nz, g.SWL, 1)
+								}
 							}
 						}
 					}

@@ -19,16 +19,23 @@ package crossbar
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"sre/internal/metrics"
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/xrand"
 )
 
-// Array is a single physical crossbar of Rows×Cols cells.
+// Array is a single physical crossbar of Rows×Cols cells. It counts its
+// OU reads — ideal (ReadOU) vs noisy (ReadOUNoisy) — so accuracy
+// studies can report how much traffic went through the device channel.
 type Array struct {
 	Rows, Cols int
 	cells      []uint16
+
+	idealReads atomic.Int64
+	noisyReads atomic.Int64
 }
 
 // New returns a zeroed array.
@@ -77,6 +84,7 @@ func (a *Array) ReadOU(active []int, drive func(row int) uint16, colLo, colHi in
 	if colLo < 0 || colHi > a.Cols || colLo >= colHi {
 		panic("crossbar: bad column range")
 	}
+	a.idealReads.Add(1)
 	out := make([]int64, colHi-colLo)
 	for _, r := range active {
 		d := int64(drive(r))
@@ -95,6 +103,7 @@ func (a *Array) ReadOU(active []int, drive func(row int) uint16, colLo, colHi in
 // (1-bit drivers only).
 func (a *Array) ReadOUNoisy(active []int, drive func(row int) uint16, colLo, colHi int,
 	cell reram.Cell, rng *xrand.RNG) []int64 {
+	a.noisyReads.Add(1)
 	states := make([]uint16, len(active))
 	bits := make([]uint16, len(active))
 	out := make([]int64, colHi-colLo)
@@ -106,6 +115,21 @@ func (a *Array) ReadOUNoisy(active []int, drive func(row int) uint16, colLo, col
 		out[c-colLo] = int64(cell.SenseSum(states, bits, rng))
 	}
 	return out
+}
+
+// ReadCounts returns how many OU reads the array has served, split into
+// ideal (ReadOU) and noisy (ReadOUNoisy) reads.
+func (a *Array) ReadCounts() (ideal, noisy int64) {
+	return a.idealReads.Load(), a.noisyReads.Load()
+}
+
+// PublishMetrics adds the array's read counts to the shard's
+// `sre_crossbar_reads_total{kind=...}` counters. Call it at reduction
+// time (the counts keep accumulating; publish once per array per run).
+func (a *Array) PublishMetrics(sh *metrics.Shard) {
+	ideal, noisy := a.ReadCounts()
+	sh.Counter(`sre_crossbar_reads_total{kind="ideal"}`).Add(ideal)
+	sh.Counter(`sre_crossbar_reads_total{kind="noisy"}`).Add(noisy)
 }
 
 // ColGroup is one column-wise OU group: a bitline range plus the ordered

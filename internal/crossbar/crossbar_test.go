@@ -3,6 +3,7 @@ package crossbar
 import (
 	"testing"
 
+	"sre/internal/metrics"
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/tensor"
@@ -231,6 +232,52 @@ func TestReadOUNoisyMatchesIdealWithZeroSigma(t *testing.T) {
 		if ideal[i] != noisy[i] {
 			t.Fatalf("zero-sigma noisy read differs at col %d", i)
 		}
+	}
+}
+
+// TestReadOUNoisyZeroSigmaRandomSchedules sweeps random active-row
+// sets, 0/1 drive patterns, and bitline ranges: with σ = 0 the device
+// channel is exact, so every noisy read must equal the ideal read. It
+// also pins the arrays' read accounting and its metrics publication.
+func TestReadOUNoisyZeroSigmaRandomSchedules(t *testing.T) {
+	r := xrand.New(33)
+	cell := reram.Cell{Bits: 2, RRatio: 20, Sigma: 0}
+	a := New(64, 24)
+	for row := 0; row < a.Rows; row++ {
+		for c := 0; c < a.Cols; c++ {
+			a.Set(row, c, uint16(r.Intn(4)))
+		}
+	}
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		active := r.SampleK(1+r.Intn(16), a.Rows)
+		drives := make([]uint16, a.Rows)
+		for _, row := range active {
+			drives[row] = uint16(r.Intn(2))
+		}
+		drive := func(row int) uint16 { return drives[row] }
+		colLo := r.Intn(a.Cols - 1)
+		colHi := colLo + 1 + r.Intn(a.Cols-colLo-1)
+		ideal := a.ReadOU(active, drive, colLo, colHi)
+		noisy := a.ReadOUNoisy(active, drive, colLo, colHi, cell, r)
+		for i := range ideal {
+			if ideal[i] != noisy[i] {
+				t.Fatalf("trial %d: zero-sigma noisy read differs at col %d: %d != %d",
+					trial, colLo+i, noisy[i], ideal[i])
+			}
+		}
+	}
+	if ideal, noisy := a.ReadCounts(); ideal != trials || noisy != trials {
+		t.Fatalf("ReadCounts = (%d, %d), want (%d, %d)", ideal, noisy, trials, trials)
+	}
+	reg := metrics.NewRegistry()
+	a.PublishMetrics(reg.Shard())
+	snap := reg.Snapshot()
+	if got := snap.Counters[`sre_crossbar_reads_total{kind="ideal"}`]; got != trials {
+		t.Fatalf("published ideal reads = %d, want %d", got, trials)
+	}
+	if got := snap.Counters[`sre_crossbar_reads_total{kind="noisy"}`]; got != trials {
+		t.Fatalf("published noisy reads = %d, want %d", got, trials)
 	}
 }
 

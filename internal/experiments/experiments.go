@@ -19,6 +19,7 @@ import (
 	"sre/internal/core"
 	"sre/internal/energy"
 	"sre/internal/mapping"
+	"sre/internal/metrics"
 	"sre/internal/parallel"
 	"sre/internal/quant"
 	"sre/internal/workload"
@@ -30,6 +31,9 @@ type Options struct {
 	MaxWindows int  // per-layer window sampling cap (0 → default 48)
 	Quick      bool // trim sweeps for fast CI/bench runs
 	Workers    int  // simulation worker-pool width (0 = GOMAXPROCS)
+	// Metrics, when non-nil, collects run observability across every
+	// simulation an experiment performs (see internal/metrics).
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions runs every experiment at full scope.
@@ -224,6 +228,7 @@ func simulateOn(b *workload.Built, mode core.Mode, p quant.Params, g mapping.Geo
 		Workers:    opt.Workers,
 		Pool:       pool,
 		Energy:     energy.Default(),
+		Metrics:    opt.Metrics,
 	}
 	return core.SimulateNetwork(b.Layers, cfg)
 }

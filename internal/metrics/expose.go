@@ -1,0 +1,111 @@
+// Snapshot exposition: JSON (the -metrics file format, a stable
+// machine-readable manifest alongside BENCH_*.json) and the Prometheus
+// text exposition format (-metrics-format prom), so a run can feed
+// either ad-hoc tooling or a scrape pipeline without new dependencies.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json sorts
+// map keys, so the output is byte-stable for a fixed snapshot.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metric names may embed a label set
+// (`name{k="v"}`); histogram bucket/sum/count suffixes are spliced onto
+// the base name so the labels compose with `le`.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, n := range names {
+		base, labels := splitName(n)
+		if !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", base, labelBlock(labels, ""), s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		if !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+			typed[base] = true
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", base, labelBlock(labels, ""), s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		base, labels := splitName(n)
+		if !typed[base] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			typed[base] = true
+		}
+		h := s.Histograms[n]
+		cum := int64(0)
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base,
+				labelBlock(labels, fmt.Sprintf("le=%q", le)), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", base, labelBlock(labels, ""), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labelBlock(labels, ""), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// splitName separates `base{k="v",...}` into base and the raw label
+// body (no braces); names without labels return an empty body.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// labelBlock renders a label body plus an optional extra label as a
+// `{...}` block, or nothing when both are empty.
+func labelBlock(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}

@@ -1,0 +1,274 @@
+// Package metrics is the simulator's run-metrics observability layer: a
+// zero-dependency registry of counters, gauges, and fixed-bucket
+// histograms that the hot simulation loops can feed without perturbing
+// the bit-identical Cycles/Energy guarantee.
+//
+// Layout: the Registry hands out Shards — one per worker shard of a
+// parallel loop (Registry.Shard is called at shard setup, never inside
+// the hot loop). Each shard owns its cells, so the hot-path operations
+// (Counter.Add, Histogram.Observe, Gauge.Set) are single-writer atomic
+// stores on shard-private cache lines: no locks, no allocations, no
+// cross-worker contention. Cells use atomics only so that a Snapshot
+// taken while another run is still writing (e.g. RunAll's per-mode
+// snapshots) is race-free; shard-private ownership keeps the atomic
+// adds effectively as cheap as plain stores.
+//
+// Merge: Snapshot folds every shard deterministically — counters and
+// histogram buckets sum (integer addition, order-independent), gauges
+// take the maximum — so the merged snapshot of a fixed workload does
+// not depend on worker count or scheduling, and enabling metrics never
+// feeds back into the simulation itself.
+//
+// Naming: metric names may embed Prometheus-style labels directly,
+// e.g. "sre_core_ou_activations_total{mode=\"orc+dof\"}". The JSON
+// snapshot uses the full string as the key; the Prometheus writer
+// splits base name and label set so histogram bucket labels compose.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry collects shards and merges them into Snapshots. The zero
+// value is not usable; create one with NewRegistry. A nil *Registry is
+// valid everywhere and disables collection.
+type Registry struct {
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Shard returns a new worker-private shard registered with r, or nil
+// for a nil registry (every Shard operation is nil-safe). Call it at
+// shard setup — it takes the registry lock — and keep the result on the
+// worker's stack for the hot loop.
+func (r *Registry) Shard() *Shard {
+	if r == nil {
+		return nil
+	}
+	s := &Shard{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+	r.mu.Lock()
+	r.shards = append(r.shards, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Shard is one worker's private slice of the registry. Cell lookup
+// (Counter, Gauge, Histogram) is setup-time work guarded by the shard's
+// own mutex; the returned cells are the hot-path handles.
+type Shard struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Counter returns the shard's counter cell for name, creating it on
+// first use. Returns nil (a valid no-op cell) on a nil shard.
+func (s *Shard) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the shard's gauge cell for name, creating it on first
+// use. Returns nil (a valid no-op cell) on a nil shard.
+func (s *Shard) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the shard's histogram cell for name with the given
+// ascending upper bounds (an implicit +Inf bucket is appended), creating
+// it on first use. Every shard must use identical bounds for one name.
+// Returns nil (a valid no-op cell) on a nil shard.
+func (s *Shard) Histogram(name string, bounds []int64) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing shard-private cell. All methods
+// are nil-safe no-ops so disabled metrics cost one predictable branch.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Gauge is a high-water-mark cell: Set records the maximum value ever
+// seen, which makes the cross-shard merge (max) deterministic. All
+// methods are nil-safe no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set raises the gauge to v if v exceeds the current value (gauges
+// start at zero and record non-negative values).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Histogram is a fixed-bucket shard-private histogram of int64
+// observations. All methods are nil-safe no-ops.
+type Histogram struct {
+	bounds  []int64 // ascending upper bounds; bucket i counts v <= bounds[i]
+	buckets []atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one observation of v.
+func (h *Histogram) Observe(v int64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical observations of v — the hot loops use it
+// to fold e.g. "k full OUs of occupancy S_WL" into one call.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(n)
+	h.sum.Add(v * n)
+	h.count.Add(n)
+}
+
+// Snapshot is the deterministic merge of every shard. Maps are keyed by
+// the full metric name (labels included); encoding/json sorts map keys,
+// so the serialized form is stable.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is one merged histogram. Counts[i] holds the
+// observations v <= Bounds[i]; the final element of Counts is the
+// overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot merges every shard registered so far: counters and histogram
+// buckets sum, gauges take the maximum. Safe to call while shards are
+// still being written (the result is then a point-in-time view); the
+// merge order never affects the result. A nil registry returns nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	shards := append([]*Shard(nil), r.shards...)
+	r.mu.Unlock()
+	out := &Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range shards {
+		s.mu.Lock()
+		for name, c := range s.counters {
+			out.Counters[name] += c.v.Load()
+		}
+		for name, g := range s.gauges {
+			if v := g.v.Load(); v > out.Gauges[name] || !hasKey(out.Gauges, name) {
+				out.Gauges[name] = v
+			}
+		}
+		for name, h := range s.hists {
+			hs, ok := out.Histograms[name]
+			if !ok {
+				hs = HistogramSnapshot{
+					Bounds: append([]int64(nil), h.bounds...),
+					Counts: make([]int64, len(h.buckets)),
+				}
+			}
+			for i := range h.buckets {
+				hs.Counts[i] += h.buckets[i].Load()
+			}
+			hs.Sum += h.sum.Load()
+			hs.Count += h.count.Load()
+			out.Histograms[name] = hs
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func hasKey(m map[string]int64, k string) bool { _, ok := m[k]; return ok }
+
+// Names returns every metric name in the snapshot, sorted.
+func (s *Snapshot) Names() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndCells(t *testing.T) {
+	var r *Registry
+	sh := r.Shard()
+	if sh != nil {
+		t.Fatal("nil registry must hand out nil shards")
+	}
+	// Every cell operation must be a safe no-op on the nil chain.
+	sh.Counter("c").Add(3)
+	sh.Counter("c").Inc()
+	sh.Gauge("g").Set(7)
+	sh.Histogram("h", []int64{1, 2}).Observe(1)
+	sh.Histogram("h", []int64{1, 2}).ObserveN(2, 5)
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestCounterGaugeHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Shard(), r.Shard()
+	a.Counter("ops").Add(5)
+	b.Counter("ops").Add(7)
+	a.Gauge("width").Set(4)
+	b.Gauge("width").Set(2) // lower value must not win
+	bounds := []int64{1, 2, 4, 8, 16}
+	ha := a.Histogram("occ", bounds)
+	hb := b.Histogram("occ", bounds)
+	ha.Observe(1)        // bucket le=1
+	ha.ObserveN(16, 3)   // bucket le=16, three observations
+	hb.Observe(5)        // bucket le=8
+	hb.Observe(100)      // overflow bucket
+	snap := r.Snapshot()
+	if got := snap.Counters["ops"]; got != 12 {
+		t.Fatalf("ops = %d, want 12", got)
+	}
+	if got := snap.Gauges["width"]; got != 4 {
+		t.Fatalf("width = %d, want 4", got)
+	}
+	h := snap.Histograms["occ"]
+	wantCounts := []int64{1, 0, 0, 1, 3, 1}
+	if !reflect.DeepEqual(h.Counts, wantCounts) {
+		t.Fatalf("occ counts = %v, want %v", h.Counts, wantCounts)
+	}
+	if h.Count != 6 || h.Sum != 1+3*16+5+100 {
+		t.Fatalf("occ count=%d sum=%d", h.Count, h.Sum)
+	}
+	if !reflect.DeepEqual(h.Bounds, bounds) {
+		t.Fatalf("occ bounds = %v", h.Bounds)
+	}
+}
+
+// TestMergeDeterministic pins the registry's core contract: the merged
+// snapshot of a fixed set of observations is identical no matter how
+// the observations were sharded.
+func TestMergeDeterministic(t *testing.T) {
+	build := func(shards int) *Snapshot {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sh := r.Shard()
+				c := sh.Counter("n")
+				h := sh.Histogram("h", []int64{4, 8})
+				g := sh.Gauge("hw")
+				for i := s; i < 100; i += shards {
+					c.Add(int64(i))
+					h.Observe(int64(i % 12))
+					g.Set(int64(i))
+				}
+			}(s)
+		}
+		wg.Wait()
+		return r.Snapshot()
+	}
+	want := build(1)
+	for _, shards := range []int{2, 7, 16} {
+		got := build(shards)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: %+v != %+v", shards, got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	r := NewRegistry()
+	sh := r.Shard()
+	sh.Counter(`b_total{mode="dof"}`).Add(2)
+	sh.Counter(`a_total`).Add(1)
+	var buf1, buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("JSON snapshot not byte-stable")
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if round.Counters[`b_total{mode="dof"}`] != 2 {
+		t.Fatalf("round-trip lost labeled counter: %+v", round)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	sh := r.Shard()
+	sh.Counter(`sre_ou_total{mode="dof"}`).Add(9)
+	sh.Gauge("sre_pool_width").Set(4)
+	h := sh.Histogram(`sre_occ{mode="dof"}`, []int64{8, 16})
+	h.Observe(3)
+	h.Observe(20)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sre_ou_total counter",
+		`sre_ou_total{mode="dof"} 9`,
+		"# TYPE sre_pool_width gauge",
+		"sre_pool_width 4",
+		"# TYPE sre_occ histogram",
+		`sre_occ_bucket{mode="dof",le="8"} 1`,
+		`sre_occ_bucket{mode="dof",le="16"} 1`,
+		`sre_occ_bucket{mode="dof",le="+Inf"} 2`,
+		`sre_occ_sum{mode="dof"} 23`,
+		`sre_occ_count{mode="dof"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	sh := r.Shard()
+	sh.Counter("c").Inc()
+	sh.Gauge("a").Set(1)
+	sh.Histogram("b", []int64{1}).Observe(1)
+	got := r.Snapshot().Names()
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Shard().Counter("n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Shard().Histogram("h", []int64{1, 2, 4, 8, 16, 32, 64, 128})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveN(int64(i&15)+1, 2)
+	}
+}
+
+func BenchmarkDisabledCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool bounds concurrent workers. Create one with New; a nil *Pool is
@@ -26,6 +28,50 @@ import (
 type Pool struct {
 	workers int
 	sem     chan struct{} // tokens for workers beyond the caller
+	stats   atomic.Pointer[Stats]
+}
+
+// Stats is the pool's cumulative execution accounting, collected only
+// after EnableStats. All fields are atomics: the pool is shared across
+// goroutines, and these counts sit outside the per-shard hot loops (one
+// update per For call or per shard, never per item).
+type Stats struct {
+	// ForCalls counts For invocations that dispatched work.
+	ForCalls atomic.Int64
+	// Items counts the total index-space size dispatched (Σ n).
+	Items atomic.Int64
+	// ShardsInline counts shards run on the caller's goroutine — the
+	// caller's own final shard plus any saturation fallbacks.
+	ShardsInline atomic.Int64
+	// ShardsSpawned counts shards handed to pool goroutines.
+	ShardsSpawned atomic.Int64
+	// SpawnWaitNanos accumulates, over spawned shards, the delay between
+	// the spawn request and the shard body starting — the pool's
+	// scheduling latency ("queue wait").
+	SpawnWaitNanos atomic.Int64
+}
+
+// EnableStats switches on execution accounting for this pool and
+// returns the live Stats (idempotent; concurrent callers share one
+// instance). A nil pool returns nil.
+func (p *Pool) EnableStats() *Stats {
+	if p == nil {
+		return nil
+	}
+	if s := p.stats.Load(); s != nil {
+		return s
+	}
+	p.stats.CompareAndSwap(nil, &Stats{})
+	return p.stats.Load()
+}
+
+// Stats returns the pool's accounting, or nil when EnableStats was
+// never called (or the pool is nil).
+func (p *Pool) Stats() *Stats {
+	if p == nil {
+		return nil
+	}
+	return p.stats.Load()
 }
 
 // New returns a pool of the given width. width <= 0 means GOMAXPROCS.
@@ -54,6 +100,11 @@ func (p *Pool) For(ctx context.Context, n int, fn func(start, end int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
+	st := p.Stats()
+	if st != nil {
+		st.ForCalls.Add(1)
+		st.Items.Add(int64(n))
+	}
 	shards := p.Workers()
 	if shards > n {
 		shards = n
@@ -61,6 +112,9 @@ func (p *Pool) For(ctx context.Context, n int, fn func(start, end int)) error {
 	if shards == 1 {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if st != nil {
+			st.ShardsInline.Add(1)
 		}
 		fn(0, n)
 		return ctx.Err()
@@ -74,18 +128,32 @@ func (p *Pool) For(ctx context.Context, n int, fn func(start, end int)) error {
 		start, end := s*n/shards, (s+1)*n/shards
 		if s == shards-1 {
 			// The caller always works the last shard itself.
+			if st != nil {
+				st.ShardsInline.Add(1)
+			}
 			fn(start, end)
 			break
 		}
 		select {
 		case p.sem <- struct{}{}:
 			wg.Add(1)
+			var spawned time.Time
+			if st != nil {
+				st.ShardsSpawned.Add(1)
+				spawned = time.Now()
+			}
 			go func() {
 				defer func() { <-p.sem; wg.Done() }()
+				if st != nil {
+					st.SpawnWaitNanos.Add(time.Since(spawned).Nanoseconds())
+				}
 				fn(start, end)
 			}()
 		default:
 			// Pool saturated (e.g. a nested For): run inline.
+			if st != nil {
+				st.ShardsInline.Add(1)
+			}
 			fn(start, end)
 		}
 	}

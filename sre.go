@@ -27,6 +27,7 @@ import (
 	"sre/internal/energy"
 	"sre/internal/isaac"
 	"sre/internal/mapping"
+	"sre/internal/metrics"
 	"sre/internal/noc"
 	"sre/internal/parallel"
 	"sre/internal/quant"
@@ -156,6 +157,7 @@ type settings struct {
 	weightSp float64 // Build: overall weight-sparsity target
 	actSp    float64 // Build: overall activation-sparsity target
 	progress func(Progress)
+	metrics  *metrics.Registry
 }
 
 // Option adjusts network construction (Load, Build) or a single run
@@ -210,6 +212,26 @@ func WithSparsity(weight, activation float64) Option {
 // when layers overlap on the worker pool.
 func WithProgress(fn func(Progress)) Option { return func(s *settings) { s.progress = fn } }
 
+// Metrics is a run-observability registry (see WithMetrics). Create one
+// with NewMetrics; a nil registry disables collection at zero cost.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot is a merged point-in-time view of a Metrics registry.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an empty metrics registry ready to hand to
+// WithMetrics. One registry may observe any number of concurrent runs;
+// Snapshot merges all of them deterministically.
+func NewMetrics() *Metrics { return metrics.NewRegistry() }
+
+// WithMetrics attaches a metrics registry to a run. The simulator
+// records OU activations, wordline-occupancy histograms, window
+// sampling, plan-cache traffic, crossbar reads, and worker-pool
+// utilization into worker-private shards; Result.Metrics carries the
+// merged snapshot. Collection never changes simulation results —
+// Cycles and Energy stay bit-identical to an unmetered run.
+func WithMetrics(reg *Metrics) Option { return func(s *settings) { s.metrics = reg } }
+
 // Progress reports one completed layer of a running simulation.
 type Progress struct {
 	Network    string
@@ -218,6 +240,9 @@ type Progress struct {
 	LayerCount int
 	LayersDone int // layers completed so far, including this one
 	Layer      LayerResult
+	OUEvents   int64 // the layer's OU activations (window-sampling scaled)
+	Windows    int   // the layer's total sliding windows
+	Sampled    int   // windows actually simulated (MaxWindows sampling)
 }
 
 func defaultSettings() settings {
@@ -281,6 +306,11 @@ type Result struct {
 	CompressionRatio float64 // weight compression of the mode's scheme
 	IndexStorageBits int64   // input-index storage the scheme needs
 	Layers           []LayerResult
+	// Metrics is the merged observability snapshot when the run carried
+	// a WithMetrics registry (nil otherwise). RunAllContext snapshots
+	// once after every mode finishes, so all six results share the
+	// sweep-wide view.
+	Metrics *MetricsSnapshot
 }
 
 // Network is a built, simulator-ready model. Its Run methods are safe
@@ -457,6 +487,7 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 		Pool:       pool,
 		Energy:     energy.Default(),
 		NoC:        noc.Default(),
+		Metrics:    s.metrics,
 	}
 	if s.progress != nil {
 		progress := s.progress
@@ -466,6 +497,9 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 				LayerIndex: ev.Index, LayerCount: ev.Count, LayersDone: ev.Done,
 				Layer: LayerResult{Name: ev.Layer.Name, Cycles: ev.Layer.Cycles,
 					Seconds: ev.Layer.Time, Energy: Breakdown(ev.Layer.Energy)},
+				OUEvents: ev.Layer.OUEvents,
+				Windows:  ev.Layer.Windows,
+				Sampled:  ev.Layer.Sampled,
 			})
 		}
 	}
@@ -498,6 +532,9 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 		out.CompressionRatio = float64(totalCells) / float64(compCells)
 	}
 	out.IndexStorageBits = storage
+	if s.metrics != nil {
+		out.Metrics = s.metrics.Snapshot()
+	}
 	return out, nil
 }
 
@@ -533,6 +570,15 @@ func (n *Network) RunAllContext(ctx context.Context, opts ...Option) ([]Result, 
 	if poolErr != nil {
 		return nil, poolErr
 	}
+	if s.metrics != nil {
+		// Per-mode snapshots taken while sibling modes were still
+		// running are partial; re-snapshot once now that every mode is
+		// done so all results agree on the sweep-wide totals.
+		snap := s.metrics.Snapshot()
+		for i := range out {
+			out[i].Metrics = snap
+		}
+	}
 	return out, nil
 }
 
@@ -548,8 +594,13 @@ func ResultsByMode(results []Result) map[Mode]Result {
 // RunOCC simulates the network under OU-column compression (§4.1,
 // Fig. 8(c)) — the row-compression alternative the paper rejects because
 // it needs output indexing and cannot combine with DOF (Fig. 10). The
-// per-layer OCC structures are built lazily on first call.
-func (n *Network) RunOCC() (Result, error) {
+// per-layer OCC structures are built lazily on first call. Per-run
+// options adjust the same run-scoped knobs as RunContext.
+func (n *Network) RunOCC(opts ...Option) (Result, error) {
+	s, err := n.runSettings(opts)
+	if err != nil {
+		return Result{}, err
+	}
 	n.occMu.Lock()
 	if n.occ == nil {
 		mode, err := n.style.pruneMode()
@@ -575,10 +626,11 @@ func (n *Network) RunOCC() (Result, error) {
 		Quant:      n.cfg.params(),
 		Mode:       core.ModeOCC,
 		IndexBits:  n.indexBits(),
-		MaxWindows: n.cfg.MaxWindows,
-		Workers:    n.cfg.Workers,
+		MaxWindows: s.cfg.MaxWindows,
+		Workers:    s.cfg.Workers,
 		Energy:     energy.Default(),
 		NoC:        noc.Default(),
+		Metrics:    s.metrics,
 	}
 	res := core.SimulateNetwork(layers, cfg)
 	out := Result{
@@ -586,6 +638,9 @@ func (n *Network) RunOCC() (Result, error) {
 		Cycles:  res.Cycles,
 		Seconds: res.Time,
 		Energy:  Breakdown(res.Energy),
+	}
+	if s.metrics != nil {
+		out.Metrics = s.metrics.Snapshot()
 	}
 	var total, comp, outBits int64
 	for i := range layers {

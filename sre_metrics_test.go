@@ -1,0 +1,140 @@
+package sre
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestProgressExactlyOncePerLayer pins the progress contract at several
+// pool widths: every layer reports exactly once, Done values are a
+// permutation-free 1..N sequence, and the observability fields carry
+// real window/OU accounting.
+func TestProgressExactlyOncePerLayer(t *testing.T) {
+	net, err := Load("MNIST", smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		var events []Progress
+		_, err := net.RunContext(context.Background(), ORCDOF,
+			WithWorkers(workers),
+			WithProgress(func(p Progress) { events = append(events, p) }))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(events) != net.LayerCount() {
+			t.Fatalf("workers=%d: %d progress events for %d layers",
+				workers, len(events), net.LayerCount())
+		}
+		seen := make(map[int]bool)
+		for i, ev := range events {
+			if seen[ev.LayerIndex] {
+				t.Fatalf("workers=%d: layer %d reported twice", workers, ev.LayerIndex)
+			}
+			seen[ev.LayerIndex] = true
+			// Calls are serialized, so Done counts up even when layer
+			// indexes arrive out of order.
+			if ev.LayersDone != i+1 {
+				t.Fatalf("workers=%d: event %d has LayersDone %d", workers, i, ev.LayersDone)
+			}
+			if ev.Windows <= 0 || ev.Sampled <= 0 || ev.Sampled > ev.Windows || ev.OUEvents <= 0 {
+				t.Fatalf("workers=%d: bad observability fields in %+v", workers, ev)
+			}
+		}
+	}
+}
+
+// TestWithMetricsSnapshotReconciles attaches a registry to a single-mode
+// run and checks the snapshot against the run's own results: layer
+// count, per-layer progress OUEvents, and the bit-identity of the
+// metered run against an unmetered one.
+func TestWithMetricsSnapshotReconciles(t *testing.T) {
+	net, err := Load("MNIST", smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	plain, err := net.RunContext(ctx, DOF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetrics()
+	var ouFromProgress int64
+	res, err := net.RunContext(ctx, DOF, WithMetrics(reg),
+		WithProgress(func(p Progress) { ouFromProgress += p.OUEvents }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != plain.Cycles || res.Energy != plain.Energy {
+		t.Fatalf("metered run diverged: %d/%v vs %d/%v",
+			res.Cycles, res.Energy, plain.Cycles, plain.Energy)
+	}
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics nil despite WithMetrics")
+	}
+	if plain.Metrics != nil {
+		t.Fatal("unmetered run carries a metrics snapshot")
+	}
+	snap := res.Metrics
+	if got := snap.Counters[`sre_core_layers_total{mode="dof"}`]; got != int64(net.LayerCount()) {
+		t.Fatalf("layers_total = %d, want %d", got, net.LayerCount())
+	}
+	if got := snap.Counters[`sre_core_ou_activations_total{mode="dof"}`]; got != ouFromProgress {
+		t.Fatalf("ou_activations_total = %d, progress reported %d", got, ouFromProgress)
+	}
+	if snap.Gauges["sre_parallel_pool_width"] <= 0 {
+		t.Fatalf("pool width gauge missing: %+v", snap.Gauges)
+	}
+	if _, ok := snap.Histograms[`sre_core_ou_occupancy{mode="dof"}`]; !ok {
+		t.Fatalf("occupancy histogram missing: %v", snap.Names())
+	}
+}
+
+// TestRunAllMetricsPlanCacheReuse runs the six-mode sweep metered and
+// checks the plan-cache accounting: baseline/naive/recom/orc/dof/orc+dof
+// share cached plans (dof reuses baseline's entry, orc+dof reuses orc's
+// per structure), so the sweep must see at least one hit per layer
+// structure, and misses must equal builds exactly.
+func TestRunAllMetricsPlanCacheReuse(t *testing.T) {
+	net, err := Load("MNIST", smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetrics()
+	results, err := net.RunAllContext(context.Background(), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := results[0].Metrics
+	if snap == nil {
+		t.Fatal("RunAll results carry no metrics snapshot")
+	}
+	for i := range results {
+		if results[i].Metrics != snap {
+			t.Fatal("RunAll results disagree on the final snapshot")
+		}
+	}
+	hits := snap.Counters["sre_compress_plan_cache_hits_total"]
+	misses := snap.Counters["sre_compress_plan_cache_misses_total"]
+	builds := snap.Counters["sre_compress_plan_cache_builds_total"]
+	if hits < 1 {
+		t.Fatalf("plan cache saw no reuse across the six-mode sweep (hits=%d misses=%d)", hits, misses)
+	}
+	if misses != builds || builds < 1 {
+		t.Fatalf("plan cache misses (%d) must equal builds (%d), both >= 1", misses, builds)
+	}
+	// Six modes over the same structures → six lookups per layer against
+	// four distinct keys (dof shares baseline's key, orc+dof shares
+	// orc's).
+	if lookups := hits + misses; lookups != int64(6*net.LayerCount()) {
+		t.Fatalf("plan cache lookups = %d, want %d", lookups, 6*net.LayerCount())
+	}
+	for _, mode := range Modes() {
+		name := fmt.Sprintf("sre_core_layers_total{mode=%q}", mode.String())
+		if got := snap.Counters[name]; got != int64(net.LayerCount()) {
+			t.Fatalf("%s = %d, want %d", name, got, net.LayerCount())
+		}
+	}
+}

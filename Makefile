@@ -7,10 +7,14 @@ GO ?= go
 # Where `make bench` records its machine-readable results. Each PR's
 # bench run gets its own file (BENCH_PR2.json, BENCH_PR3.json, …) so the
 # history stays comparable; override on the command line:
-#   make bench BENCH_OUT=BENCH_PR4.json
-BENCH_OUT ?= BENCH_PR3.json
+#   make bench BENCH_OUT=BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep results profile clean
+# Baseline for `make bench-compare` (the previous PR's record):
+#   make bench-compare BENCH_OLD=BENCH_PR2.json BENCH_OUT=BENCH_PR3.json
+BENCH_OLD ?= BENCH_PR3.json
+
+.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep bench-compare results profile clean
 
 all: verify
 
@@ -48,10 +52,16 @@ bench-quick:
 	$(GO) test -bench . -benchtime 1x -run=NONE .
 
 # The parallel engine's acceptance benchmark: six-mode VGG-16 sweep,
-# serial vs worker-pool (expect ≥2x at GOMAXPROCS≥4; identical results
+# serial vs worker-pool (expect ≥3x at GOMAXPROCS≥4; identical results
 # either way).
 bench-sweep:
 	$(GO) test -bench 'BenchmarkVGG16Sweep' -benchtime 2x -run=NONE .
+
+# bench-compare prints the per-benchmark ns/op, B/op, and allocs/op
+# deltas between the previous PR's record and the current one.
+bench-compare:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	./bin/benchjson -compare $(BENCH_OLD) $(BENCH_OUT)
 
 # results regenerates the full experiment record (every table/figure,
 # paper order) from the current code. The output is not tracked — run

@@ -136,8 +136,10 @@ func BenchmarkSimulateLayerORCDOF(b *testing.B) {
 //
 // BenchmarkVGG16Sweep* run the full six-mode VGG-16 sweep — the hot
 // path the parallel engine exists for — at explicit worker widths.
-// With GOMAXPROCS≥4 the parallel variant should be ≥2× the serial one;
-// both produce bit-identical results (see TestSerialParallelBitIdentical).
+// With GOMAXPROCS≥4 the parallel variant should be ≥3× the serial one
+// (dynamic window sharding over the shared code planes rebalances the
+// skewed per-window DOF costs); both produce bit-identical results
+// (see TestSerialParallelBitIdentical).
 
 func benchVGG16Sweep(b *testing.B, workers int) {
 	b.Helper()

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run=NONE . | benchjson -out BENCH_PR3.json
+//	benchjson -compare BENCH_PR3.json BENCH_PR4.json
+//
+// The -compare form reads two previously-recorded files and prints a
+// per-benchmark delta table (ns/op, B/op, allocs/op) instead of parsing
+// stdin; `make bench-compare` wraps it.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,7 +45,20 @@ type Record struct {
 
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks to this JSON file")
+	compare := flag.String("compare", "", "compare OLD.json (this flag) against NEW.json (positional arg) and print deltas")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare OLD.json needs exactly one NEW.json argument")
+			os.Exit(2)
+		}
+		if err := compareRecords(*compare, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var rec Record
 	sc := bufio.NewScanner(os.Stdin)
@@ -106,4 +125,76 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, len(b.Metrics) > 0
+}
+
+// compareUnits are the metrics the delta table reports, in column order.
+var compareUnits = []string{"ns/op", "B/op", "allocs/op"}
+
+// compareRecords prints a per-benchmark delta table of the standard
+// -benchmem metrics between two recorded files. A negative delta is an
+// improvement; benchmarks present in only one file are listed so a
+// renamed benchmark can't silently drop out of the trajectory record.
+func compareRecords(oldPath, newPath string) error {
+	oldRec, err := readRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newRec, err := readRecord(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := benchByName(oldRec)
+	newBy := benchByName(newRec)
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-40s %10s %14s %14s %8s\n", "benchmark", "metric", oldPath, newPath, "delta")
+	for _, name := range names {
+		nb, ok := newBy[name]
+		if !ok {
+			fmt.Printf("%-40s only in %s\n", name, oldPath)
+			continue
+		}
+		ob := oldBy[name]
+		for _, unit := range compareUnits {
+			ov, hasOld := ob.Metrics[unit]
+			nv, hasNew := nb.Metrics[unit]
+			if !hasOld || !hasNew {
+				continue
+			}
+			delta := "n/a"
+			if ov != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Printf("%-40s %10s %14.0f %14.0f %8s\n", name, unit, ov, nv, delta)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Printf("%-40s only in %s\n", name, newPath)
+		}
+	}
+	return nil
+}
+
+func readRecord(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+func benchByName(rec Record) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
 }

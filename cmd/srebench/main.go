@@ -33,6 +33,7 @@ func main() {
 		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all windows)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+		codeCache  = flag.Bool("codecache", true, "share one window-code materialization per layer across modes")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsF   = flag.String("metrics", "", "write a run-metrics snapshot to this file")
@@ -58,7 +59,8 @@ func main() {
 		}
 		return
 	}
-	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick, Workers: *workers}
+	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick,
+		Workers: *workers, NoCodeCache: !*codeCache}
 	if *metricsF != "" {
 		opt.Metrics = metrics.NewRegistry()
 	}

@@ -41,6 +41,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
 		progress   = flag.Bool("progress", false, "report per-layer progress to stderr")
+		codeCache  = flag.Bool("codecache", true, "share one window-code materialization per layer across modes")
 		layers     = flag.Bool("layers", false, "print per-layer results")
 		runISAAC   = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,7 +85,7 @@ func main() {
 	)
 	fatal(err)
 
-	var runOpts []sre.Option
+	runOpts := []sre.Option{sre.WithCodeCache(*codeCache)}
 	if *progress {
 		runOpts = append(runOpts, sre.WithProgress(func(p sre.Progress) {
 			fmt.Fprintf(os.Stderr, "  [%s] layer %d/%d done (%s, %d OU events, %d/%d windows)\n",

@@ -23,6 +23,7 @@ package compress
 
 import (
 	"fmt"
+	"sync"
 
 	"sre/internal/bitset"
 	"sre/internal/index"
@@ -129,6 +130,10 @@ type Structure struct {
 	// plans memoizes derived per-tile execution plans by
 	// (scheme, indexBits) — see PlanSet.
 	plans planCache
+	// stats memoizes the CompressedCells/IndexStorageBits totals by the
+	// same key — two int64s per key, so sweeps over many index widths
+	// (ChooseIndexBits, Fig. 19) stay cheap without caching full plans.
+	stats statsCache
 }
 
 // Build scans src and constructs the structure for geometry g under
@@ -255,9 +260,13 @@ func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
 	return GroupPlan{Rows: enc.Rows, Fillers: enc.Filler, StorageBits: enc.StorageBits()}
 }
 
-// sharedIndexGroups returns how many distinct index streams a scheme
-// stores per tile: ORC keeps one per column group; Naive one per tile;
-// ReCom one per row block (shared by every tile in the block).
+// storagePlanned totals mapped cells and index storage by calling Plan
+// for every group. A scheme stores one index stream per tile's column
+// group (ORC), per tile (Naive), or per row block (ReCom, shared by
+// every tile in the block). It is the uncached reference the memoized
+// count-only scan (computePlanStats) is tested against — production
+// callers go through CompressedCells/IndexStorageBits, which never
+// rebuild plans.
 func (s *Structure) storagePlanned(scheme Scheme, indexBits int) (cells, storage int64) {
 	for rb := range s.groups {
 		recomCounted := false
@@ -287,14 +296,135 @@ func (s *Structure) storagePlanned(scheme Scheme, indexBits int) (cells, storage
 	return cells, storage
 }
 
+// statsCache memoizes planStats per (scheme, indexBits). Entries are
+// tiny (two int64s), so unlike the plan cache it can afford to keep
+// every key an index-width sweep ever asks about.
+type statsCache struct {
+	mu sync.Mutex
+	m  map[planKey]planStats
+}
+
+type planStats struct{ cells, storage int64 }
+
+// planStatsFor returns the memoized storagePlanned totals, computing
+// them once per key with the count-only scan. The per-Result ratio
+// reporting (sre.RunContext) hits this for every mode of every run, so
+// the recurring cost must be a map lookup, not a plan rebuild.
+func (s *Structure) planStatsFor(scheme Scheme, indexBits int) planStats {
+	if scheme == Baseline || scheme == Ideal || indexBits <= 0 {
+		indexBits = 0 // Plan treats every non-positive width the same
+	}
+	key := planKey{scheme, indexBits}
+	s.stats.mu.Lock()
+	defer s.stats.mu.Unlock()
+	if st, ok := s.stats.m[key]; ok {
+		return st
+	}
+	st := s.computePlanStats(scheme, indexBits)
+	if s.stats.m == nil {
+		s.stats.m = make(map[planKey]planStats)
+	}
+	s.stats.m[key] = st
+	return st
+}
+
+// computePlanStats reproduces storagePlanned's totals without
+// materializing any plan: a keep set contributes only its retained-row
+// count and (for bounded index widths) its filler count, which a
+// set-bit walk yields directly. The Naive tile criterion and the ReCom
+// block criterion are hoisted out of the per-group loop — their keep
+// sets are shared — so this runs one bitset union per tile or block
+// instead of one per group.
+func (s *Structure) computePlanStats(scheme Scheme, indexBits int) planStats {
+	lay := s.Layout
+	absBits := int64(xmath.CeilLog2(lay.XbarRows))
+	var st planStats
+	for rb := range s.groups {
+		tileRows := int64(lay.TileRows(rb))
+		var blockRows, blockStorage int64
+		if scheme == ReCom {
+			blockRows, blockStorage = plannedRowTotals(s.BlockNonZeroRows(rb), scheme, indexBits, absBits)
+		}
+		recomCounted := false
+		for cb := range s.groups[rb] {
+			var tileKeepRows, tileStorage int64
+			if scheme == Naive {
+				tileKeepRows, tileStorage = plannedRowTotals(s.TileNonZeroRows(rb, cb), scheme, indexBits, absBits)
+			}
+			naiveCounted := false
+			for gi := range s.groups[rb][cb] {
+				lo, hi := lay.GroupCols(cb, gi)
+				width := int64(hi - lo)
+				var rows, storage int64
+				switch scheme {
+				case Baseline:
+					rows = tileRows
+				case Naive:
+					rows, storage = tileKeepRows, tileStorage
+				case ReCom:
+					rows, storage = blockRows, blockStorage
+				case ORC, Ideal:
+					rows, storage = plannedRowTotals(s.groups[rb][cb][gi], scheme, indexBits, absBits)
+				default:
+					panic("compress: Plan does not support scheme " + scheme.String())
+				}
+				st.cells += rows * width
+				switch scheme {
+				case ORC:
+					st.storage += storage
+				case Naive:
+					if !naiveCounted {
+						st.storage += storage
+						naiveCounted = true
+					}
+				case ReCom:
+					if !recomCounted {
+						st.storage += storage
+						recomCounted = true
+					}
+				}
+			}
+		}
+	}
+	return st
+}
+
+// plannedRowTotals returns the mapped-row count (fillers included) and
+// index storage of one keep set under Plan's encoding rules: Ideal pays
+// no index cost, unbounded widths store one absolute index per retained
+// row, and bounded widths insert a filler each time a gap exceeds the
+// representable span (exactly index.Encode's loop) with every row —
+// filler or retained — storing one code.
+func plannedRowTotals(keep *bitset.Set, scheme Scheme, indexBits int, absBits int64) (rows, storage int64) {
+	n := int64(keep.Count())
+	if scheme == Ideal {
+		return n, 0
+	}
+	if indexBits <= 0 {
+		return n, n * absBits
+	}
+	span := 1 << uint(indexBits)
+	var fillers int64
+	prev := -1
+	for i := keep.NextSet(0); i >= 0; i = keep.NextSet(i + 1) {
+		if gap := i - prev; gap > span {
+			fillers += int64((gap - 1) / span)
+		}
+		prev = i
+	}
+	total := n + fillers
+	return total, total * int64(indexBits)
+}
+
 // CompressedCells returns the mapped cell count under scheme (fillers
-// included) — the denominator of the Fig. 20 compression ratio.
+// included) — the denominator of the Fig. 20 compression ratio. Totals
+// are memoized per (scheme, indexBits), so per-run ratio reporting
+// costs a map lookup after the first call.
 func (s *Structure) CompressedCells(scheme Scheme, indexBits int) int64 {
 	if scheme == Ideal {
 		return s.nonZeroCells
 	}
-	cells, _ := s.storagePlanned(scheme, indexBits)
-	return cells
+	return s.planStatsFor(scheme, indexBits).cells
 }
 
 // CompressionRatio returns originalCells / compressedCells (≥ 1).
@@ -307,10 +437,9 @@ func (s *Structure) CompressionRatio(scheme Scheme, indexBits int) float64 {
 }
 
 // IndexStorageBits returns the total input-index storage the scheme needs
-// (Fig. 19 for ORC).
+// (Fig. 19 for ORC), memoized like CompressedCells.
 func (s *Structure) IndexStorageBits(scheme Scheme, indexBits int) int64 {
-	_, storage := s.storagePlanned(scheme, indexBits)
-	return storage
+	return s.planStatsFor(scheme, indexBits).storage
 }
 
 // AbsoluteIndexBits returns the storage needed if absolute (non-delta)

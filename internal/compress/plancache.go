@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sre/internal/bitset"
+	"sre/internal/index"
 	"sre/internal/metrics"
 	"sre/internal/xmath"
 )
@@ -36,6 +37,15 @@ type TilePlans struct {
 	// OUs is Σ_g ceil(len(GroupRows[g])/S_WL) — the per-slice OU count
 	// without Dynamic OU Formation.
 	OUs int64
+	// AllRows marks a Baseline tile: every group keeps every row, so
+	// GroupRows and Plane are left nil rather than materializing Groups
+	// identical full masks; TileRows carries the height. RowCount and
+	// OUs are still filled in, and consumers that walk per-group rows
+	// (the static-occupancy recorder) treat each group as TileRows full
+	// rows.
+	AllRows bool
+	// TileRows is the tile's row count (meaningful when AllRows is set).
+	TileRows int
 }
 
 // PlanSet holds the cached tile plans of one Structure under one
@@ -117,30 +127,79 @@ func (s *Structure) PlanSetMetered(scheme Scheme, indexBits int, cm CacheMetrics
 	return e.ps
 }
 
+// buildPlanSet derives every tile's plans with the shared keep sets
+// hoisted out of the per-group loop (Naive's tile criterion, ReCom's
+// block criterion — Plan recomputes those unions per group) and each
+// tile's row lists packed into one contiguous backing array, so a
+// build costs a handful of allocations per tile instead of several per
+// group. The produced rows are byte-for-byte what Plan returns.
 func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 	lay := s.Layout
 	ps := &PlanSet{Tiles: make([][]TilePlans, lay.RowBlocks)}
+	var idxScratch []int // reused raw keep-set indices across groups
 	for rb := 0; rb < lay.RowBlocks; rb++ {
 		ps.Tiles[rb] = make([]TilePlans, lay.ColBlocks)
 		tileRows := lay.TileRows(rb)
 		words := bitset.Words64(tileRows)
+		bs := bitset.New(tileRows) // reused per group for the plane words
+		var blockKeep *bitset.Set
+		if scheme == ReCom {
+			blockKeep = s.BlockNonZeroRows(rb)
+		}
 		for cb := 0; cb < lay.ColBlocks; cb++ {
 			tp := &ps.Tiles[rb][cb]
 			nGroups := lay.GroupsInTile(cb)
 			tp.Words = words
 			tp.Groups = nGroups
+			if scheme == Baseline {
+				tp.AllRows = true
+				tp.TileRows = tileRows
+				tp.RowCount = int64(nGroups) * int64(tileRows)
+				tp.OUs = int64(nGroups) * int64(xmath.CeilDiv(tileRows, lay.SWL))
+				continue
+			}
+			var tileKeep *bitset.Set
+			if scheme == Naive {
+				tileKeep = s.TileNonZeroRows(rb, cb)
+			}
 			tp.GroupRows = make([][]int, nGroups)
 			tp.Plane = make([]uint64, 0, nGroups*words)
+			// All groups append into one backing array; headers are cut
+			// afterwards since append growth may move it.
+			offs := make([]int, nGroups+1)
+			var backing []int
 			for gi := 0; gi < nGroups; gi++ {
-				plan := s.Plan(scheme, rb, cb, gi, indexBits)
-				tp.GroupRows[gi] = plan.Rows
-				bs := bitset.New(tileRows)
-				for _, r := range plan.Rows {
+				var keep *bitset.Set
+				switch scheme {
+				case Naive:
+					keep = tileKeep
+				case ReCom:
+					keep = blockKeep
+				default: // ORC, Ideal
+					keep = s.groups[rb][cb][gi]
+				}
+				if scheme == Ideal || indexBits <= 0 {
+					backing = keep.Indices(backing)
+				} else {
+					idxScratch = keep.Indices(idxScratch[:0])
+					var err error
+					backing, _, err = index.AppendEncodedRows(backing, idxScratch, indexBits)
+					if err != nil {
+						panic(err)
+					}
+				}
+				offs[gi+1] = len(backing)
+			}
+			for gi := 0; gi < nGroups; gi++ {
+				rows := backing[offs[gi]:offs[gi+1]:offs[gi+1]]
+				tp.GroupRows[gi] = rows
+				bs.Reset()
+				for _, r := range rows {
 					bs.Set(r)
 				}
 				tp.Plane = bitset.AppendPlane(tp.Plane, bs)
-				tp.RowCount += int64(len(plan.Rows))
-				tp.OUs += int64(xmath.CeilDiv(len(plan.Rows), lay.SWL))
+				tp.RowCount += int64(len(rows))
+				tp.OUs += int64(xmath.CeilDiv(len(rows), lay.SWL))
 			}
 		}
 	}

@@ -44,6 +44,29 @@ func TestPlanSetMatchesPlan(t *testing.T) {
 				if tp.Groups != lay.GroupsInTile(cb) || tp.Words != bitset.Words64(tileRows) {
 					t.Fatalf("%v tile (%d,%d): groups/words wrong", scheme, rb, cb)
 				}
+				if scheme == Baseline {
+					// Baseline keeps every row in every group; the cache
+					// stores that virtually instead of materializing
+					// Groups identical full planes.
+					if !tp.AllRows || tp.TileRows != tileRows {
+						t.Fatalf("Baseline tile (%d,%d): AllRows=%v TileRows=%d, want true/%d",
+							rb, cb, tp.AllRows, tp.TileRows, tileRows)
+					}
+					if tp.GroupRows != nil || tp.Plane != nil {
+						t.Fatalf("Baseline tile (%d,%d): expected virtual plans, got materialized rows", rb, cb)
+					}
+					plan := s.Plan(Baseline, rb, cb, 0, 0)
+					wantRows := int64(tp.Groups) * int64(len(plan.Rows))
+					wantOUs := int64(tp.Groups) * int64(xmath.CeilDiv(len(plan.Rows), lay.SWL))
+					if tp.RowCount != wantRows || tp.OUs != wantOUs {
+						t.Fatalf("Baseline tile (%d,%d): static counts %d/%d want %d/%d",
+							rb, cb, tp.RowCount, tp.OUs, wantRows, wantOUs)
+					}
+					continue
+				}
+				if tp.AllRows {
+					t.Fatalf("%v tile (%d,%d): AllRows set for a non-Baseline scheme", scheme, rb, cb)
+				}
 				var wantRows, wantOUs int64
 				for gi := 0; gi < tp.Groups; gi++ {
 					// Baseline/Ideal normalize the key to indexBits 0.
@@ -128,4 +151,28 @@ func TestPlanSetRejectsOCC(t *testing.T) {
 		}
 	}()
 	s.PlanSet(OCC, 3)
+}
+
+// TestPlanStatsMatchStoragePlanned cross-checks the memoized count-only
+// CompressedCells/IndexStorageBits path against the uncached
+// storagePlanned reference (which rebuilds every plan through Plan),
+// for every scheme across several index widths.
+func TestPlanStatsMatchStoragePlanned(t *testing.T) {
+	s := cacheTestStructure(t)
+	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+		for _, bits := range []int{0, 1, 2, 3, 5} {
+			wantCells, wantStorage := s.storagePlanned(scheme, bits)
+			gotCells := s.CompressedCells(scheme, bits)
+			if scheme == Ideal {
+				// CompressedCells keeps the Ideal shortcut (exact non-zero
+				// cells, no retained-row rounding); compare the scan itself.
+				gotCells = s.planStatsFor(scheme, bits).cells
+			}
+			gotStorage := s.IndexStorageBits(scheme, bits)
+			if gotCells != wantCells || gotStorage != wantStorage {
+				t.Fatalf("%v bits=%d: stats %d/%d, storagePlanned %d/%d",
+					scheme, bits, gotCells, gotStorage, wantCells, wantStorage)
+			}
+		}
+	}
 }

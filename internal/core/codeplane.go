@@ -1,0 +1,85 @@
+// Window-code plane cache: the activation-side analogue of
+// compress.PlanSet. RunAll's six modes (and repeated SimulateLayer
+// calls) all consume the same sampled window codes, but before this
+// cache each mode re-synthesized them from the ActivationSource —
+// per-window RNG and transcendentals for workload.SyntheticActs,
+// im2col gathers for TensorSource — once per mode. A Layer that
+// carries a CodePlanes materializes each sampled-window count's codes
+// once into a contiguous plane and shares it read-only across modes,
+// workers, and runs.
+package core
+
+import (
+	"sync"
+
+	"sre/internal/metrics"
+)
+
+// maxCachedPlaneElems bounds one cached plane's size (uint32 elements;
+// 64 MiB). Full-scope runs over ImageNet-size layers with sampling
+// disabled would otherwise pin hundreds of megabytes of codes per
+// network; past the bound the simulator falls back to the per-call
+// source reads, which those runs already paid before the cache.
+const maxCachedPlaneElems = 16 << 20
+
+// CodePlanes caches a layer's sampled window codes, keyed by the
+// sampled-window count (MaxWindows changes which windows are read, so
+// each distinct count is its own plane). Like compress.PlanSet,
+// entries are created under a mutex and built once via sync.Once, so
+// concurrent modes racing for a key build it exactly once and read it
+// lock-free afterwards. Planes are read-only after build.
+type CodePlanes struct {
+	mu      sync.Mutex
+	entries map[int]*codePlaneEntry
+}
+
+type codePlaneEntry struct {
+	once  sync.Once
+	plane []uint32 // [sampled][rows], window-major
+}
+
+// NewCodePlanes returns an empty cache ready to attach to a Layer.
+func NewCodePlanes() *CodePlanes { return &CodePlanes{} }
+
+// codeCacheMetrics carries the cache observability counters (nil-safe,
+// like compress.CacheMetrics). Hits/misses split lookups by whether the
+// sampled-count entry already existed; builds counts plane
+// constructions; bytes accumulates the resident size of built planes.
+type codeCacheMetrics struct {
+	hits, misses, builds, bytes *metrics.Counter
+}
+
+// plane returns the cached [sampled][rows] code plane, building it on
+// first use by reading every sampled window from src once (through a
+// worker-private clone, so a shared source's scratch state is not
+// touched). Returns nil when the plane would exceed the size bound —
+// callers must then read the source per window as before.
+func (c *CodePlanes) plane(src ActivationSource, rows, sampled, windows int, m codeCacheMetrics) []uint32 {
+	if int64(rows)*int64(sampled) > maxCachedPlaneElems {
+		return nil
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[int]*codePlaneEntry)
+	}
+	e := c.entries[sampled]
+	if e == nil {
+		e = &codePlaneEntry{}
+		c.entries[sampled] = e
+		m.misses.Inc()
+	} else {
+		m.hits.Inc()
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		m.builds.Inc()
+		p := make([]uint32, sampled*rows)
+		acts := cloneSource(src)
+		for wi := 0; wi < sampled; wi++ {
+			acts.WindowCodes(wi*windows/sampled, p[wi*rows:(wi+1)*rows])
+		}
+		e.plane = p
+		m.bytes.Add(int64(len(p)) * 4)
+	})
+	return e.plane
+}

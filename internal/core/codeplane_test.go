@@ -1,0 +1,275 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sre/internal/metrics"
+	"sre/internal/tensor"
+)
+
+// TestGoldenCodeCacheBitIdentical is the code-plane cache's identity
+// proof: for every mode, worker count, and sampling setting, a layer
+// that carries a CodePlanes must produce exactly the LayerResult of the
+// same layer without one, and of a cached layer run with
+// Config.NoCodeCache — same Cycles, Stalls, OUEvents, Fetches, and
+// bit-for-bit the same Energy floats. One CodePlanes instance persists
+// across all runs, so later iterations also prove reads of an
+// already-built plane stay identical.
+func TestGoldenCodeCacheBitIdentical(t *testing.T) {
+	uncached := goldenLayer(t)
+	cached := uncached
+	cached.Codes = NewCodePlanes()
+	ctx := context.Background()
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 0} {
+			for _, maxWin := range []int{0, 4} {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.MaxWindows = maxWin
+				cfg.Workers = workers
+				tag := fmt.Sprintf("%v workers=%d maxWin=%d", mode, workers, maxWin)
+				want, err := SimulateLayerContext(ctx, uncached, cfg)
+				if err != nil {
+					t.Fatalf("%s uncached: %v", tag, err)
+				}
+				got, err := SimulateLayerContext(ctx, cached, cfg)
+				if err != nil {
+					t.Fatalf("%s cached: %v", tag, err)
+				}
+				if got != want {
+					t.Fatalf("%s: cached %+v != uncached %+v", tag, got, want)
+				}
+				cfg.NoCodeCache = true
+				optOut, err := SimulateLayerContext(ctx, cached, cfg)
+				if err != nil {
+					t.Fatalf("%s opt-out: %v", tag, err)
+				}
+				if optOut != want {
+					t.Fatalf("%s: NoCodeCache %+v != uncached %+v", tag, optOut, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenCodeCacheMeteredIdentical repeats the identity with a
+// metrics registry attached and reconciles the cache counters: distinct
+// sampled-window counts build distinct planes exactly once, every other
+// lookup hits, and the opted-out run touches none of them.
+func TestGoldenCodeCacheMeteredIdentical(t *testing.T) {
+	layer := goldenLayer(t)
+	layer.Codes = NewCodePlanes()
+	ctx := context.Background()
+	reg := metrics.NewRegistry()
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	lookups := 0
+	for _, mode := range modes {
+		for _, maxWin := range []int{0, 4} { // two distinct sampled counts
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.MaxWindows = maxWin
+			cfg.Workers = 2
+			plain, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Metrics = reg
+			metered, err := SimulateLayerContext(ctx, layer, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if metered != plain {
+				t.Fatalf("%v maxWin=%d: metered %+v != unmetered %+v", mode, maxWin, metered, plain)
+			}
+			lookups++ // only the metered run feeds the counters
+		}
+	}
+	snap := reg.Snapshot()
+	// The unmetered warm-up runs already built both planes, so every
+	// metered lookup hits; builds are therefore absent from this
+	// registry, and misses stay zero.
+	if got := snap.Counters["sre_core_code_cache_hits_total"]; got != int64(lookups) {
+		t.Fatalf("hits = %d, want %d", got, lookups)
+	}
+	if got := snap.Counters["sre_core_code_cache_misses_total"]; got != 0 {
+		t.Fatalf("misses = %d, want 0 (planes pre-built by unmetered runs)", got)
+	}
+
+	// A fresh cache under one registry shows the full algebra: one miss
+	// and one build per distinct sampled count, hits for the rest, and
+	// resident bytes matching the two plane sizes.
+	layer.Codes = NewCodePlanes()
+	reg = metrics.NewRegistry()
+	lookups = 0
+	for _, mode := range modes {
+		for _, maxWin := range []int{0, 4} {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.MaxWindows = maxWin
+			cfg.Workers = 2
+			cfg.Metrics = reg
+			if _, err := SimulateLayerContext(ctx, layer, cfg); err != nil {
+				t.Fatal(err)
+			}
+			lookups++
+		}
+	}
+	snap = reg.Snapshot()
+	const distinct = 2 // sampled counts: all 9 windows, and 4
+	if got := snap.Counters["sre_core_code_cache_misses_total"]; got != distinct {
+		t.Fatalf("misses = %d, want %d", got, distinct)
+	}
+	if got := snap.Counters["sre_core_code_cache_builds_total"]; got != distinct {
+		t.Fatalf("builds = %d, want %d", got, distinct)
+	}
+	if got := snap.Counters["sre_core_code_cache_hits_total"]; got != int64(lookups-distinct) {
+		t.Fatalf("hits = %d, want %d", got, lookups-distinct)
+	}
+	rows := layer.Struct.Layout.Rows
+	wantBytes := int64((9 + 4) * rows * 4)
+	if got := snap.Counters["sre_core_code_cache_bytes_total"]; got != wantBytes {
+		t.Fatalf("bytes = %d, want %d", got, wantBytes)
+	}
+}
+
+// TestCodePlaneConcurrentBuild races many goroutines at one entry and
+// at two distinct sampled counts; under -race this is the cache's
+// safety proof, and the once-per-entry build must hold regardless of
+// who wins.
+func TestCodePlaneConcurrentBuild(t *testing.T) {
+	layer := goldenLayer(t)
+	cp := NewCodePlanes()
+	rows := layer.Struct.Layout.Rows
+	windows := layer.Acts.Windows()
+	var wg sync.WaitGroup
+	planes := make([][]uint32, 16)
+	for i := range planes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sampled := windows
+			if i%2 == 1 {
+				sampled = 4
+			}
+			planes[i] = cp.plane(layer.Acts, rows, sampled, windows, codeCacheMetrics{})
+		}(i)
+	}
+	wg.Wait()
+	for i := range planes {
+		if planes[i] == nil {
+			t.Fatalf("goroutine %d: nil plane", i)
+		}
+		// Same sampled count must share one backing array.
+		if &planes[i][0] != &planes[i%2][0] {
+			t.Fatalf("goroutine %d: plane not shared with its key's first builder", i)
+		}
+	}
+	if len(planes[0]) != windows*rows || len(planes[1]) != 4*rows {
+		t.Fatalf("plane sizes %d/%d, want %d/%d", len(planes[0]), len(planes[1]), windows*rows, 4*rows)
+	}
+}
+
+// TestCodePlaneSizeBound pins the memory backstop: a plane that would
+// exceed maxCachedPlaneElems is not cached (the caller falls back to
+// per-window source reads) and records neither a hit nor a build.
+func TestCodePlaneSizeBound(t *testing.T) {
+	cp := NewCodePlanes()
+	rows := 1 << 12
+	sampled := maxCachedPlaneElems/rows + 1
+	if p := cp.plane(nil, rows, sampled, sampled, codeCacheMetrics{}); p != nil {
+		t.Fatalf("oversized plane was cached (%d elems)", len(p))
+	}
+	if len(cp.entries) != 0 {
+		t.Fatalf("oversized request left %d cache entries", len(cp.entries))
+	}
+}
+
+// TestTensorSourceCloneWindowCodes is the clone-correctness check for
+// the traced-activation adapter: clones reading windows in interleaved
+// and reversed orders must reproduce exactly the codes the parent
+// produces in forward order, because each clone owns its im2col scratch
+// while sharing the read-only tensor.
+func TestTensorSourceCloneWindowCodes(t *testing.T) {
+	x := tensor.New(3, 6, 6)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%7) - 3.2
+	}
+	src := NewTensorSource(x, 3, 1, 1, 8)
+	rows := 3 * 3 * 3
+	windows := src.Windows()
+	want := make([][]uint32, windows)
+	for w := 0; w < windows; w++ {
+		want[w] = make([]uint32, rows)
+		src.WindowCodes(w, want[w])
+	}
+	a := src.CloneSource()
+	b := src.CloneSource()
+	got := make([]uint32, rows)
+	// Interleave two clones over opposite orders; any shared scratch
+	// would cross-contaminate the gathers.
+	for w := 0; w < windows; w++ {
+		a.WindowCodes(w, got)
+		for i := range got {
+			if got[i] != want[w][i] {
+				t.Fatalf("clone a window %d row %d: %d != %d", w, i, got[i], want[w][i])
+			}
+		}
+		rev := windows - 1 - w
+		b.WindowCodes(rev, got)
+		for i := range got {
+			if got[i] != want[rev][i] {
+				t.Fatalf("clone b window %d row %d: %d != %d", rev, i, got[i], want[rev][i])
+			}
+		}
+	}
+}
+
+// TestTensorSourceConcurrentClones hammers distinct clones of one
+// TensorSource from parallel goroutines; under -race this proves the
+// clone contract (shared tensor read-only, scratch private).
+func TestTensorSourceConcurrentClones(t *testing.T) {
+	x := tensor.New(2, 8, 8)
+	for i := range x.Data() {
+		x.Data()[i] = float32((i*13)%11) * 0.25
+	}
+	src := NewTensorSource(x, 3, 1, 0, 8)
+	rows := 2 * 3 * 3
+	windows := src.Windows()
+	want := make([]uint32, windows*rows)
+	for w := 0; w < windows; w++ {
+		src.WindowCodes(w, want[w*rows:(w+1)*rows])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			clone := src.CloneSource()
+			got := make([]uint32, rows)
+			for rep := 0; rep < 3; rep++ {
+				for w := 0; w < windows; w++ {
+					wi := (w*7 + g) % windows // clone-specific order
+					clone.WindowCodes(wi, got)
+					for i := range got {
+						if got[i] != want[wi*rows+i] {
+							errs[g] = fmt.Errorf("clone %d window %d row %d: %d != %d",
+								g, wi, i, got[i], want[wi*rows+i])
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -102,6 +102,13 @@ type Config struct {
 	NoC        noc.Config    // zero value disables interconnect accounting
 	Buffer     buffer.Config // zero value assumes the §5.3 one-cycle fetch
 
+	// NoCodeCache disables the layer-level window-code plane cache
+	// (Layer.Codes): every mode goes back to reading the
+	// ActivationSource per window, as the pre-cache simulator did.
+	// Results are bit-identical either way; the switch exists for
+	// memory-constrained runs and as the golden comparison baseline.
+	NoCodeCache bool
+
 	// Workers is the simulation worker-pool width (0 = GOMAXPROCS).
 	// Results are bit-identical at every width.
 	Workers int
@@ -183,6 +190,13 @@ func observeOccupancy(occ *metrics.Histogram, nz, swl int, reps int64) {
 func recordStaticOccupancy(occ *metrics.Histogram, tp *tilePlan, swl int, reps int64) {
 	switch {
 	case tp.plans != nil:
+		if tp.plans.AllRows {
+			// Baseline plans are virtualized (no per-group row lists):
+			// every group drives all TileRows rows, so batching the
+			// Groups identical observations is additive-identical.
+			observeOccupancy(occ, tp.plans.TileRows, swl, reps*int64(tp.plans.Groups))
+			return
+		}
 		for _, rows := range tp.plans.GroupRows {
 			observeOccupancy(occ, len(rows), swl, reps)
 		}
@@ -214,6 +228,9 @@ func publishPoolMetrics(reg *metrics.Registry, pool *parallel.Pool) {
 	sh.Gauge("sre_parallel_shards_inline").Set(st.ShardsInline.Load())
 	sh.Gauge("sre_parallel_shards_spawned").Set(st.ShardsSpawned.Load())
 	sh.Gauge("sre_parallel_spawn_wait_ns").Set(st.SpawnWaitNanos.Load())
+	sh.Gauge("sre_parallel_dyn_for_calls").Set(st.DynCalls.Load())
+	sh.Gauge("sre_parallel_dyn_chunks").Set(st.DynChunks.Load())
+	sh.Gauge("sre_parallel_dyn_workers").Set(st.DynWorkers.Load())
 }
 
 // DefaultConfig returns the Table 1 configuration in baseline mode.
@@ -330,6 +347,12 @@ type Layer struct {
 	Struct *compress.Structure
 	OCC    *compress.OCCStructure
 	Acts   ActivationSource
+	// Codes, when non-nil, caches the layer's sampled window codes so
+	// RunAll's six modes (and repeated SimulateLayer calls) share one
+	// materialization instead of re-reading Acts per mode
+	// (workload.Build attaches one to every layer). Config.NoCodeCache
+	// opts a run out.
+	Codes *CodePlanes
 	// OutputBits is the layer's output feature-map size; when the config
 	// carries an interconnect, handing it to the next layer's PEs costs
 	// NoC energy (overlapped with compute, so no latency).
@@ -540,6 +563,34 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 		}
 	}
 
+	// Resolve the layer's shared window-code plane. Every non-scalar
+	// mode performs the lookup — not just the DOF modes that read the
+	// codes — so the cache's hit/miss algebra is deterministic for a
+	// fixed workload: misses == builds == distinct sampled counts, hits
+	// == lookups − builds, regardless of mode order. The scalar
+	// reference path keeps its historical per-call source reads.
+	var plane []uint32
+	if l.Codes != nil && !cfg.NoCodeCache && !cfg.ScalarReference {
+		plane = l.Codes.plane(l.Acts, lay.Rows, sampled, windows, codeCacheMetrics{
+			hits:   msh.Counter("sre_core_code_cache_hits_total"),
+			misses: msh.Counter("sre_core_code_cache_misses_total"),
+			builds: msh.Counter("sre_core_code_cache_builds_total"),
+			bytes:  msh.Counter("sre_core_code_cache_bytes_total"),
+		})
+	}
+
+	// Non-scalar paths run on a pooled scratch block (plan grid, DOF
+	// work slots, tile accumulators); the scalar reference keeps fresh
+	// allocations so the golden baseline's behavior is untouched.
+	var ls *layerScratch
+	if !cfg.ScalarReference {
+		ls = getLayerScratch(arenaMetrics{
+			gets: msh.Counter(`sre_core_arena_gets_total{arena="layer"}`),
+			news: msh.Counter(`sre_core_arena_news_total{arena="layer"}`),
+		})
+		defer ls.release()
+	}
+
 	// Per-tile plans. The row-compression plans (and their word-plane
 	// flattening) are memoized on the Structure per (scheme, indexBits),
 	// so RunAll's modes and repeated SimulateLayer calls share one
@@ -549,9 +600,8 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	var plans [][]tilePlan
 	switch {
 	case cfg.Mode.Scheme == compress.OCC:
-		plans = make([][]tilePlan, lay.RowBlocks)
+		plans = ls.tilePlans(lay.RowBlocks, lay.ColBlocks)
 		for rb := 0; rb < lay.RowBlocks; rb++ {
-			plans[rb] = make([]tilePlan, lay.ColBlocks)
 			tileRows := lay.TileRows(rb)
 			for cb := 0; cb < lay.ColBlocks; cb++ {
 				// Column compression keeps every row mapped; the OU count
@@ -575,12 +625,11 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			Misses: msh.Counter("sre_compress_plan_cache_misses_total"),
 			Builds: msh.Counter("sre_compress_plan_cache_builds_total"),
 		})
-		plans = make([][]tilePlan, lay.RowBlocks)
+		plans = ls.tilePlans(lay.RowBlocks, lay.ColBlocks)
 		for rb := 0; rb < lay.RowBlocks; rb++ {
 			if err := ctx.Err(); err != nil {
 				return LayerResult{}, err
 			}
-			plans[rb] = make([]tilePlan, lay.ColBlocks)
 			tileRows := lay.TileRows(rb)
 			for cb := 0; cb < lay.ColBlocks; cb++ {
 				tp := &plans[rb][cb]
@@ -610,19 +659,33 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	// issues the same per-tile batch, so the phase is skipped entirely.
 	var work []batchWork // indexed [wi*nTiles + rb*ColBlocks + cb]
 	if cfg.Mode.DOF {
-		work = make([]batchWork, sampled*nTiles)
-		winPool := pool
-		if _, ok := l.Acts.(SourceCloner); !ok {
-			// The source cannot give workers private views; read it
-			// from a single shard (tiles still parallelize below).
-			winPool = nil
+		if ls != nil {
+			work = ls.workSlots(sampled * nTiles)
+		} else {
+			work = make([]batchWork, sampled*nTiles)
 		}
-		phase1 := kernelPhase1(ctx, l, cfg, plans, work, sampled, windows)
+		phase1 := kernelPhase1(ctx, l, cfg, plans, work, sampled, windows, plane)
 		if cfg.ScalarReference {
 			phase1 = scalarPhase1(ctx, l, cfg, plans, work, sampled, windows)
 		}
-		if err := winPool.For(ctx, sampled, phase1); err != nil {
-			return LayerResult{}, err
+		if plane != nil {
+			// Cached codes need no source reads, so the window loop can
+			// rebalance freely: dynamic chunked sharding absorbs the
+			// skew of activation-dependent window costs. Result slots
+			// stay disjoint, so bit-identity is unaffected.
+			if err := pool.ForDynamic(ctx, sampled, dynChunk(sampled, pool.Workers()), phase1); err != nil {
+				return LayerResult{}, err
+			}
+		} else {
+			winPool := pool
+			if _, ok := l.Acts.(SourceCloner); !ok {
+				// The source cannot give workers private views; read it
+				// from a single shard (tiles still parallelize below).
+				winPool = nil
+			}
+			if err := winPool.For(ctx, sampled, phase1); err != nil {
+				return LayerResult{}, err
+			}
 		}
 	}
 
@@ -630,15 +693,12 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	// tile's tracker consumes its batches in window order — the same
 	// order (and, for the float fetch-energy sum, the same sequence of
 	// additions) as the serial simulator.
-	type tileAcc struct {
-		total    int64
-		stalls   int64
-		ouEvents int64
-		drivenWL int64
-		fetches  int64
-		fetchE   float64
+	var accs []tileAcc
+	if ls != nil {
+		accs = ls.tileAccs(nTiles)
+	} else {
+		accs = make([]tileAcc, nTiles)
 	}
-	accs := make([]tileAcc, nTiles)
 	err := pool.For(ctx, nTiles, func(start, end int) {
 		for t := start; t < end; t++ {
 			if ctx.Err() != nil {
@@ -732,61 +792,70 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	return res, nil
 }
 
+// dynChunk sizes the dynamic-sharding chunk for n windows over w
+// workers: ~8 chunks per worker leaves slack for stealing when window
+// costs skew, clamped to [1, 32] so a chunk neither degenerates to
+// per-index contention nor starves the steal.
+func dynChunk(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	c := (n + 8*workers - 1) / (8 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return c
+}
+
 // kernelPhase1 returns the word-plane phase-1 shard body: for each
 // window in the shard it derives all activation bit-slice masks in one
 // sweep (bitset.BuildSliceMasks), then counts every column group's
 // retained-row intersection with one fused pass per slice over the
-// tile's cached word plane (bitset.CountAndPlanes). All scratch is
-// allocated once per shard and every result lands in a disjoint work
-// slot, so the phase stays bit-identical at any worker count.
+// tile's cached word plane (bitset.CountAndPlanes). Scratch comes from
+// the phase-1 arena (checked out per shard or dynamic chunk) and every
+// result lands in a disjoint work slot, so the phase stays
+// bit-identical at any worker count. When the layer's code plane is
+// resolved, window codes are sliced straight out of it — no source
+// clone, no copy; otherwise each body reads its own source clone as
+// before.
 func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
-	work []batchWork, sampled, windows int) func(start, end int) {
+	work []batchWork, sampled, windows int, plane []uint32) func(start, end int) {
 	lay := l.Struct.Layout
 	g := cfg.Geometry
 	spi := cfg.Quant.SlicesPerInput()
 	nTiles := lay.RowBlocks * lay.ColBlocks
 	baseline := cfg.Mode.Scheme == compress.Baseline
 	return func(start, end int) {
-		acts := cloneSource(l.Acts)
-		codes := make([]uint32, lay.Rows)
-		// One backing array holds every (row block, slice) mask.
-		maxWords := bitset.Words64(g.XbarRows)
-		backing := make([]uint64, lay.RowBlocks*spi*maxWords)
-		masks := make([][][]uint64, lay.RowBlocks) // [rb][s] -> word mask
-		for rb := range masks {
-			masks[rb] = make([][]uint64, spi)
-			words := bitset.Words64(lay.TileRows(rb))
-			for s := 0; s < spi; s++ {
-				off := (rb*spi + s) * maxWords
-				masks[rb][s] = backing[off : off+words]
-			}
+		scr := getP1Scratch(lay, spi, cfg.Metrics)
+		defer scr.release()
+		var acts ActivationSource
+		if plane == nil {
+			acts = cloneSource(l.Acts)
 		}
-		nonEmpty := make([]uint64, lay.RowBlocks)
-		maxGroups := 0
-		for cb := 0; cb < lay.ColBlocks; cb++ {
-			if n := lay.GroupsInTile(cb); n > maxGroups {
-				maxGroups = n
-			}
-		}
-		counts := make([]int, maxGroups)
-		// Shard-private occupancy histogram (nil when unmetered: the
+		codes := scr.codes
+		masks := scr.masks
+		nonEmpty := scr.nonEmpty
+		counts := scr.counts
+		sliceNZ := scr.sliceNZ
+		// Worker-private occupancy histogram (nil when unmetered: the
 		// whole recording block is skipped by one branch per group, and
 		// the name is never even formatted).
 		var occ *metrics.Histogram
 		if cfg.Metrics != nil {
-			occ = cfg.Metrics.Shard().Histogram(occName(cfg.Mode), occupancyBounds)
-		}
-		// With baseline weights every group keeps all rows, so one
-		// popcount per (row block, slice) serves every tile.
-		var sliceNZ []int
-		if baseline {
-			sliceNZ = make([]int, lay.RowBlocks*spi)
+			occ = scr.shard(cfg.Metrics).Histogram(occName(cfg.Mode), occupancyBounds)
 		}
 		for wi := start; wi < end; wi++ {
 			if ctx.Err() != nil {
 				return
 			}
-			acts.WindowCodes(wi*windows/sampled, codes)
+			if plane != nil {
+				codes = plane[wi*lay.Rows : (wi+1)*lay.Rows]
+			} else {
+				acts.WindowCodes(wi*windows/sampled, codes)
+			}
 			for rb := 0; rb < lay.RowBlocks; rb++ {
 				lo := rb * g.XbarRows
 				hi := lo + lay.TileRows(rb)

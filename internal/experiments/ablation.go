@@ -102,7 +102,8 @@ func AblationOCC(opt Options) (*Table, error) {
 			return core.SimulateNetwork(layers, core.Config{
 				Geometry: g, Quant: p, Mode: m, IndexBits: spec.IndexBits,
 				MaxWindows: opt.maxWindows(), Workers: opt.Workers,
-				Energy: energy.Default(),
+				NoCodeCache: opt.NoCodeCache,
+				Energy:      energy.Default(),
 			})
 		}
 		base := sim(core.ModeBaseline)
@@ -157,8 +158,8 @@ func AblationBuffer(opt Options) (*Table, error) {
 		for i, bc := range buffers {
 			cfg := core.Config{Geometry: g, Quant: p, Mode: mode,
 				IndexBits: spec.IndexBits, MaxWindows: opt.maxWindows(),
-				Workers: opt.Workers,
-				Energy:  energy.Default(), Buffer: bc.cfg}
+				Workers: opt.Workers, NoCodeCache: opt.NoCodeCache,
+				Energy: energy.Default(), Buffer: bc.cfg}
 			res := core.SimulateNetwork(b.Layers, cfg)
 			if i == 0 {
 				baseCycles = res.Cycles

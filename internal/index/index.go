@@ -60,6 +60,35 @@ func Encode(rows []int, bits int) (*Encoding, error) {
 	return e, nil
 }
 
+// AppendEncodedRows appends to dst the decoded row list — fillers
+// included — that Encode(rows, bits) would produce, returning the grown
+// slice and the filler count. It is the allocation-free core of Encode
+// for callers that batch many groups' row lists into one backing array
+// (compress.Structure plan building): every filler and every retained
+// row stores exactly one code, so the encoding's storage is
+// (appended row count) · bits without materializing the codes.
+func AppendEncodedRows(dst []int, rows []int, bits int) ([]int, int, error) {
+	if bits <= 0 || bits > 30 {
+		return dst, 0, fmt.Errorf("index: code width %d out of range", bits)
+	}
+	span := 1 << uint(bits)
+	fillers := 0
+	prev := -1
+	for _, idx := range rows {
+		if idx <= prev {
+			return dst, 0, fmt.Errorf("index: rows must be strictly ascending and non-negative (got %d after %d)", idx, prev)
+		}
+		for idx-prev > span {
+			prev += span
+			dst = append(dst, prev)
+			fillers++
+		}
+		dst = append(dst, idx)
+		prev = idx
+	}
+	return dst, fillers, nil
+}
+
 // Decode recovers the absolute row list from the stored codes by prefix
 // summation — the operation the hardware Index Decoder performs. It is
 // the exact inverse of Encode (fillers included).

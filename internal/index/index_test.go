@@ -233,3 +233,59 @@ func TestWLVGCycleCeiling(t *testing.T) {
 		t.Fatal("ceil division wrong")
 	}
 }
+
+// TestAppendEncodedRowsMatchesEncode cross-checks the allocation-free
+// append form against Encode on random ascending row lists: same
+// decoded rows (fillers included), same filler count, and a stored-code
+// count equal to the appended row count.
+func TestAppendEncodedRowsMatchesEncode(t *testing.T) {
+	r := xrand.New(41)
+	for trial := 0; trial < 200; trial++ {
+		bits := 1 + r.Intn(8)
+		var rows []int
+		next := 0
+		for next < 256 {
+			if r.Bernoulli(0.35) {
+				rows = append(rows, next)
+			}
+			next += 1 + r.Intn(40)
+		}
+		enc, err := Encode(rows, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []int{-7, -7} // pre-existing content must survive the append
+		got, fillers, err := AppendEncodedRows(prefix, rows, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != -7 || got[1] != -7 {
+			t.Fatal("AppendEncodedRows clobbered the destination prefix")
+		}
+		body := got[2:]
+		if len(body) != len(enc.Rows) || fillers != enc.Filler {
+			t.Fatalf("bits=%d rows=%v: got %d rows / %d fillers, want %d / %d",
+				bits, rows, len(body), fillers, len(enc.Rows), enc.Filler)
+		}
+		for i := range body {
+			if body[i] != enc.Rows[i] {
+				t.Fatalf("bits=%d: row %d = %d, want %d", bits, i, body[i], enc.Rows[i])
+			}
+		}
+		if len(enc.Codes) != len(enc.Rows) {
+			t.Fatalf("encode invariant broken: %d codes for %d rows", len(enc.Codes), len(enc.Rows))
+		}
+		if want := int64(len(body)) * int64(bits); enc.StorageBits() != want {
+			t.Fatalf("storage %d, want rows*bits = %d", enc.StorageBits(), want)
+		}
+	}
+}
+
+func TestAppendEncodedRowsRejectsBadInput(t *testing.T) {
+	if _, _, err := AppendEncodedRows(nil, []int{1, 2}, 0); err == nil {
+		t.Fatal("expected width error")
+	}
+	if _, _, err := AppendEncodedRows(nil, []int{3, 3}, 4); err == nil {
+		t.Fatal("expected ascending error")
+	}
+}

@@ -49,6 +49,14 @@ type Stats struct {
 	// the spawn request and the shard body starting — the pool's
 	// scheduling latency ("queue wait").
 	SpawnWaitNanos atomic.Int64
+	// DynCalls counts ForDynamic invocations that dispatched work.
+	DynCalls atomic.Int64
+	// DynChunks counts the chunks ForDynamic's workers claimed (Σ
+	// ceil(n/chunk) over calls).
+	DynChunks atomic.Int64
+	// DynWorkers counts worker bodies that drained a ForDynamic cursor
+	// (the caller's own body plus any spawned ones).
+	DynWorkers atomic.Int64
 }
 
 // EnableStats switches on execution accounting for this pool and
@@ -157,6 +165,90 @@ func (p *Pool) For(ctx context.Context, n int, fn func(start, end int)) error {
 			fn(start, end)
 		}
 	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForDynamic partitions [0, n) into fixed-size contiguous chunks and
+// lets workers claim them through an atomic cursor — work stealing at
+// chunk granularity, for loops whose per-index cost is too uneven for
+// For's static shards (one slow chunk no longer serializes the tail
+// behind the coarsest shard). Like For, it acquires extra workers with
+// a non-blocking token grab (saturated nested calls degrade to the
+// caller draining every chunk inline, so nesting cannot deadlock) and
+// a nil pool runs everything on the caller's goroutine.
+//
+// Determinism: every index is processed exactly once, by exactly one
+// worker, with fn(start, end) covering disjoint ranges — ForDynamic
+// performs no reduction, so callers that write per-index results to
+// disjoint pre-sized slots and reduce serially afterwards get results
+// bit-identical to a serial run at any width, exactly as with For.
+// Only the assignment of chunks to workers is scheduling-dependent.
+//
+// ForDynamic stops claiming new chunks once ctx is cancelled (chunks
+// already running finish first) and returns ctx.Err if the context was
+// cancelled at any point, nil otherwise.
+func (p *Pool) ForDynamic(ctx context.Context, n, chunk int, fn func(start, end int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	st := p.Stats()
+	if st != nil {
+		st.DynCalls.Add(1)
+		st.Items.Add(int64(n))
+		st.DynChunks.Add(int64(nChunks))
+	}
+	var cursor atomic.Int64
+	body := func() {
+		if st != nil {
+			st.DynWorkers.Add(1)
+		}
+		for ctx.Err() == nil {
+			c := int(cursor.Add(1)) - 1
+			if c >= nChunks {
+				return
+			}
+			start := c * chunk
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			fn(start, end)
+		}
+	}
+	workers := p.Workers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var wg sync.WaitGroup
+spawn:
+	for w := 1; w < workers; w++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			var spawned time.Time
+			if st != nil {
+				st.ShardsSpawned.Add(1)
+				spawned = time.Now()
+			}
+			go func() {
+				defer func() { <-p.sem; wg.Done() }()
+				if st != nil {
+					st.SpawnWaitNanos.Add(time.Since(spawned).Nanoseconds())
+				}
+				body()
+			}()
+		default:
+			// Saturated: the caller's own drain loop below covers the
+			// remaining chunks.
+			break spawn
+		}
+	}
+	body()
 	wg.Wait()
 	return ctx.Err()
 }

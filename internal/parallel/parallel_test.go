@@ -106,3 +106,136 @@ func TestNilPoolRunsInline(t *testing.T) {
 		t.Fatalf("sum = %d", sum)
 	}
 }
+
+func TestForDynamicCoversEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 8, 64} {
+		p := New(width)
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			for _, chunk := range []int{0, 1, 3, 7, 64, 5000} {
+				hits := make([]int32, n)
+				err := p.ForDynamic(context.Background(), n, chunk, func(start, end int) {
+					for i := start; i < end; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				if err != nil {
+					t.Fatalf("width %d n %d chunk %d: %v", width, n, chunk, err)
+				}
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("width %d n %d chunk %d: index %d hit %d times", width, n, chunk, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForDynamicDeterministicWrites pins the determinism contract:
+// per-index results written to disjoint slots are identical at every
+// width and chunk size, because each index is claimed exactly once.
+func TestForDynamicDeterministicWrites(t *testing.T) {
+	const n = 500
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = int64(i) * int64(i)
+	}
+	for _, width := range []int{1, 4, 16} {
+		for _, chunk := range []int{1, 3, 7, 50} {
+			p := New(width)
+			got := make([]int64, n)
+			if err := p.ForDynamic(context.Background(), n, chunk, func(start, end int) {
+				for i := start; i < end; i++ {
+					got[i] = int64(i) * int64(i)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("width %d chunk %d: slot %d = %d, want %d", width, chunk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicNestedDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	err := p.For(context.Background(), 4, func(start, end int) {
+		for i := start; i < end; i++ {
+			if err := p.ForDynamic(context.Background(), 100, 8, func(s, e int) {
+				total.Add(int64(e - s))
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 400 {
+		t.Fatalf("nested dynamic loops covered %d items, want 400", total.Load())
+	}
+}
+
+func TestForDynamicCancellation(t *testing.T) {
+	p := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.ForDynamic(ctx, 100, 4, func(start, end int) {
+		t.Error("chunk ran after cancellation")
+	}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := p.ForDynamic(ctx, 10000, 1, func(start, end int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 10000 {
+		t.Fatal("cancellation did not stop chunk claiming")
+	}
+}
+
+func TestForDynamicNilPool(t *testing.T) {
+	var p *Pool
+	sum := 0
+	if err := p.ForDynamic(context.Background(), 10, 3, func(start, end int) {
+		for i := start; i < end; i++ {
+			sum += i
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Fatalf("nil-pool sum = %d, want 45", sum)
+	}
+}
+
+func TestForDynamicStats(t *testing.T) {
+	p := New(4)
+	st := p.EnableStats()
+	if err := p.ForDynamic(context.Background(), 100, 8, func(start, end int) {}); err != nil {
+		t.Fatal(err)
+	}
+	if st.DynCalls.Load() != 1 {
+		t.Fatalf("DynCalls = %d, want 1", st.DynCalls.Load())
+	}
+	if st.DynChunks.Load() != 13 { // ceil(100/8)
+		t.Fatalf("DynChunks = %d, want 13", st.DynChunks.Load())
+	}
+	if w := st.DynWorkers.Load(); w < 1 || w > 4 {
+		t.Fatalf("DynWorkers = %d, want 1..4", w)
+	}
+	if st.Items.Load() != 100 {
+		t.Fatalf("Items = %d, want 100", st.Items.Load())
+	}
+}

@@ -280,6 +280,7 @@ func (s Spec) Build(mode PruneMode, p quant.Params, g mapping.Geometry, seed uin
 		}
 		b.Layers = append(b.Layers, core.Layer{
 			Name: li.Path, Struct: st, Acts: acts,
+			Codes:         core.NewCodePlanes(),
 			OutputBits:    int64(li.Windows) * int64(li.Cols) * int64(p.ABits),
 			ParallelGroup: li.ParallelGroup,
 		})

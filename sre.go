@@ -156,8 +156,9 @@ type settings struct {
 	style    PruneStyle
 	weightSp float64 // Build: overall weight-sparsity target
 	actSp    float64 // Build: overall activation-sparsity target
-	progress func(Progress)
-	metrics  *metrics.Registry
+	progress    func(Progress)
+	metrics     *metrics.Registry
+	noCodeCache bool
 }
 
 // Option adjusts network construction (Load, Build) or a single run
@@ -211,6 +212,16 @@ func WithSparsity(weight, activation float64) Option {
 // completes. Calls are serialized but may arrive out of layer order
 // when layers overlap on the worker pool.
 func WithProgress(fn func(Progress)) Option { return func(s *settings) { s.progress = fn } }
+
+// WithCodeCache enables or disables the per-layer window-code plane
+// cache for a run (default enabled). With it on, RunAll's six modes
+// share one materialization of each layer's sampled activation codes;
+// off, every mode re-reads the activation source per window. Results
+// are bit-identical either way — disable it only to bound memory on
+// very large unsampled runs or to benchmark the uncached path.
+func WithCodeCache(enabled bool) Option {
+	return func(s *settings) { s.noCodeCache = !enabled }
+}
 
 // Metrics is a run-observability registry (see WithMetrics). Create one
 // with NewMetrics; a nil registry disables collection at zero cost.
@@ -478,16 +489,17 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 	}
 	indexBits := n.indexBitsFor(s.cfg)
 	cfg := core.Config{
-		Geometry:   n.cfg.geometry(),
-		Quant:      n.cfg.params(),
-		Mode:       cm,
-		IndexBits:  indexBits,
-		MaxWindows: s.cfg.MaxWindows,
-		Workers:    s.cfg.Workers,
-		Pool:       pool,
-		Energy:     energy.Default(),
-		NoC:        noc.Default(),
-		Metrics:    s.metrics,
+		Geometry:    n.cfg.geometry(),
+		Quant:       n.cfg.params(),
+		Mode:        cm,
+		IndexBits:   indexBits,
+		MaxWindows:  s.cfg.MaxWindows,
+		Workers:     s.cfg.Workers,
+		Pool:        pool,
+		Energy:      energy.Default(),
+		NoC:         noc.Default(),
+		Metrics:     s.metrics,
+		NoCodeCache: s.noCodeCache,
 	}
 	if s.progress != nil {
 		progress := s.progress
@@ -622,15 +634,16 @@ func (n *Network) RunOCC(opts ...Option) (Result, error) {
 		layers[i].OCC = n.occ[i]
 	}
 	cfg := core.Config{
-		Geometry:   n.cfg.geometry(),
-		Quant:      n.cfg.params(),
-		Mode:       core.ModeOCC,
-		IndexBits:  n.indexBits(),
-		MaxWindows: s.cfg.MaxWindows,
-		Workers:    s.cfg.Workers,
-		Energy:     energy.Default(),
-		NoC:        noc.Default(),
-		Metrics:    s.metrics,
+		Geometry:    n.cfg.geometry(),
+		Quant:       n.cfg.params(),
+		Mode:        core.ModeOCC,
+		IndexBits:   n.indexBits(),
+		MaxWindows:  s.cfg.MaxWindows,
+		Workers:     s.cfg.Workers,
+		Energy:      energy.Default(),
+		NoC:         noc.Default(),
+		Metrics:     s.metrics,
+		NoCodeCache: s.noCodeCache,
 	}
 	res := core.SimulateNetwork(layers, cfg)
 	out := Result{

@@ -14,7 +14,7 @@ BENCH_OUT ?= BENCH_PR4.json
 #   make bench-compare BENCH_OLD=BENCH_PR2.json BENCH_OUT=BENCH_PR3.json
 BENCH_OLD ?= BENCH_PR3.json
 
-.PHONY: all build vet test race bench-smoke verify bench bench-quick bench-sweep bench-compare results profile clean
+.PHONY: all build vet test race bench-smoke smoke verify bench bench-quick bench-sweep bench-compare results profile clean
 
 all: verify
 
@@ -38,6 +38,12 @@ bench-smoke:
 # verify = tier-1 (build + test) plus vet, the race detector, and the
 # benchmark smoke run.
 verify: vet build race bench-smoke
+
+# smoke boots the sreserved daemon for real: health check, one simulate
+# round-trip, a /metrics scrape, then SIGTERM and a clean-drain exit.
+smoke:
+	$(GO) build -o bin/sreserved ./cmd/sreserved
+	./scripts/smoke_sreserved.sh ./bin/sreserved
 
 # bench runs the simulator hot-path benchmarks (per-mode kernel vs
 # scalar reference, plus the six-mode VGG-16 sweep) with -benchmem and

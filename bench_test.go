@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (DESIGN.md §5 maps each benchmark to its experiment).
+// evaluation (DESIGN.md §6 maps each benchmark to its experiment).
 //
 // Each iteration performs a complete quick-scope regeneration of the
 // experiment (small networks, trimmed sweeps, capped window sampling) so
@@ -118,9 +118,7 @@ func cellMetric(b *testing.B, s string) float64 {
 // BenchmarkSimulateLayerORCDOF measures the core simulator's throughput
 // on one mid-size layer in the full SRE mode.
 func BenchmarkSimulateLayerORCDOF(b *testing.B) {
-	cfg := sre.DefaultConfig()
-	cfg.MaxWindows = 12
-	net, err := sre.LoadNetwork("CIFAR-10", sre.SSL, cfg)
+	net, err := sre.Load("CIFAR-10", sre.WithMaxWindows(12))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -165,9 +163,8 @@ func BenchmarkVGG16SweepParallel(b *testing.B) { benchVGG16Sweep(b, 0) }
 
 // BenchmarkLoadNetwork measures workload synthesis + structure building.
 func BenchmarkLoadNetwork(b *testing.B) {
-	cfg := sre.DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		if _, err := sre.LoadNetwork("MNIST", sre.SSL, cfg); err != nil {
+		if _, err := sre.Load("MNIST"); err != nil {
 			b.Fatal(err)
 		}
 	}

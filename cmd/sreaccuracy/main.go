@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sre/internal/cli"
 	"sre/internal/dataset"
 	"sre/internal/experiments"
 	"sre/internal/nn"
@@ -38,7 +39,7 @@ func main() {
 		samples   = flag.Int("samples", 200, "test samples")
 		epochs    = flag.Int("epochs", 8, "training epochs")
 		seed      = flag.Uint64("seed", 1, "seed")
-		workers   = flag.Int("workers", 0, "evaluation worker-pool width (0 = GOMAXPROCS)")
+		workers   = cli.AddWorkers(flag.CommandLine)
 	)
 	flag.Parse()
 

@@ -18,8 +18,8 @@ import (
 	"os"
 	"time"
 
+	"sre/internal/cli"
 	"sre/internal/experiments"
-	"sre/internal/metrics"
 	"sre/internal/profiling"
 )
 
@@ -32,12 +32,11 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit tables as a JSON array instead of text")
 		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all windows)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
-		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
-		codeCache  = flag.Bool("codecache", true, "share one window-code materialization per layer across modes")
+		workers    = cli.AddWorkers(flag.CommandLine)
+		codeCache  = cli.AddCodeCache(flag.CommandLine)
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		metricsF   = flag.String("metrics", "", "write a run-metrics snapshot to this file")
-		metricsFmt = flag.String("metrics-format", "json", "metrics snapshot format: json|prom")
+		metricsFl  = cli.AddMetrics(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -60,10 +59,7 @@ func main() {
 		return
 	}
 	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick,
-		Workers: *workers, NoCodeCache: !*codeCache}
-	if *metricsF != "" {
-		opt.Metrics = metrics.NewRegistry()
-	}
+		Workers: *workers, NoCodeCache: !*codeCache, Metrics: metricsFl.Registry()}
 
 	var ids []string
 	switch {
@@ -100,28 +96,9 @@ func main() {
 		}
 	}
 	if opt.Metrics != nil {
-		if err := writeMetrics(*metricsF, *metricsFmt, opt.Metrics.Snapshot()); err != nil {
+		if err := metricsFl.Write(opt.Metrics.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "srebench:", err)
 			os.Exit(1)
 		}
 	}
-}
-
-func writeMetrics(path, format string, snap *metrics.Snapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	switch format {
-	case "json":
-		err = snap.WriteJSON(f)
-	case "prom":
-		err = snap.WritePrometheus(f)
-	default:
-		err = fmt.Errorf("unknown -metrics-format %q (want json or prom)", format)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }

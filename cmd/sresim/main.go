@@ -24,30 +24,30 @@ import (
 	"strings"
 
 	"sre"
+	"sre/internal/cli"
 	"sre/internal/profiling"
 )
 
 func main() {
 	var (
-		network    = flag.String("network", "MNIST", "network name (see -networks)")
-		networks   = flag.Bool("networks", false, "list available networks")
-		modeName   = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
-		pruneStr   = flag.String("prune", "ssl", "ssl|gsl|dense")
-		ou         = flag.Int("ou", 16, "square OU size")
-		xbar       = flag.Int("crossbar", 128, "crossbar dimension")
-		cellBits   = flag.Int("cellbits", 2, "bits per ReRAM cell")
-		dacBits    = flag.Int("dacbits", 1, "DAC resolution bits")
-		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
-		seed       = flag.Uint64("seed", 1, "workload seed")
-		workers    = flag.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
-		progress   = flag.Bool("progress", false, "report per-layer progress to stderr")
-		codeCache  = flag.Bool("codecache", true, "share one window-code materialization per layer across modes")
-		layers     = flag.Bool("layers", false, "print per-layer results")
-		runISAAC   = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		metricsF   = flag.String("metrics", "", "write a run-metrics snapshot to this file")
-		metricsFmt = flag.String("metrics-format", "json", "metrics snapshot format: json|prom")
+		network   = flag.String("network", "MNIST", "network name (see -networks)")
+		networks  = flag.Bool("networks", false, "list available networks")
+		modeName  = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
+		pruneStr  = flag.String("prune", "ssl", "ssl|gsl|dense")
+		ou        = flag.Int("ou", 16, "square OU size")
+		xbar      = flag.Int("crossbar", 128, "crossbar dimension")
+		cellBits  = flag.Int("cellbits", 2, "bits per ReRAM cell")
+		dacBits   = flag.Int("dacbits", 1, "DAC resolution bits")
+		windows   = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		workers   = cli.AddWorkers(flag.CommandLine)
+		progress  = flag.Bool("progress", false, "report per-layer progress to stderr")
+		codeCache = cli.AddCodeCache(flag.CommandLine)
+		layers    = flag.Bool("layers", false, "print per-layer results")
+		runISAAC  = flag.Bool("isaac", false, "also run the over-idealized ISAAC model")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsFl = cli.AddMetrics(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -70,7 +70,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	style, err := parsePrune(*pruneStr)
+	style, err := sre.ParsePruneStyle(*pruneStr)
 	fatal(err)
 
 	net, err := sre.Load(*network,
@@ -92,9 +92,8 @@ func main() {
 				p.Mode, p.LayersDone, p.LayerCount, p.Layer.Name, p.OUEvents, p.Sampled, p.Windows)
 		}))
 	}
-	var reg *sre.Metrics
-	if *metricsF != "" {
-		reg = sre.NewMetrics()
+	reg := metricsFl.Registry()
+	if reg != nil {
 		runOpts = append(runOpts, sre.WithMetrics(reg))
 	}
 
@@ -105,14 +104,14 @@ func main() {
 		res, err = net.RunOCC(runOpts...)
 	} else {
 		var mode sre.Mode
-		mode, err = parseMode(*modeName)
+		mode, err = sre.ParseMode(*modeName)
 		fatal(err)
 		res, err = net.RunContext(ctx, mode, runOpts...)
 	}
 	fatal(err)
 
 	if reg != nil {
-		fatal(writeMetrics(*metricsF, *metricsFmt, reg.Snapshot()))
+		fatal(metricsFl.Write(reg.Snapshot()))
 	}
 
 	fmt.Printf("network   %s (%d matrix layers, prune %s)\n", net.Name(), net.LayerCount(), *pruneStr)
@@ -138,46 +137,6 @@ func main() {
 			ires.Seconds, ires.Energy.Total(),
 			res.Seconds/ires.Seconds, res.Energy.Total()/ires.Energy.Total())
 	}
-}
-
-func parseMode(s string) (sre.Mode, error) {
-	for _, m := range sre.Modes() {
-		if m.String() == strings.ToLower(s) {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
-}
-
-func parsePrune(s string) (sre.PruneStyle, error) {
-	switch strings.ToLower(s) {
-	case "ssl":
-		return sre.SSL, nil
-	case "gsl":
-		return sre.GSL, nil
-	case "dense":
-		return sre.Dense, nil
-	}
-	return 0, fmt.Errorf("unknown prune style %q", s)
-}
-
-func writeMetrics(path, format string, snap *sre.MetricsSnapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	switch format {
-	case "json":
-		err = snap.WriteJSON(f)
-	case "prom":
-		err = snap.WritePrometheus(f)
-	default:
-		err = fmt.Errorf("unknown -metrics-format %q (want json or prom)", format)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
 func fatal(err error) {

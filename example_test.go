@@ -23,10 +23,8 @@ func ExampleNetworks() {
 // ExampleNetwork_Run compares the full Sparse ReRAM Engine against the
 // no-sparsity baseline on MNIST.
 func ExampleNetwork_Run() {
-	cfg := sre.DefaultConfig()
-	cfg.MaxWindows = 12 // sample windows for a fast example
-
-	net, err := sre.LoadNetwork("MNIST", sre.SSL, cfg)
+	// Sample windows (WithMaxWindows) for a fast example.
+	net, err := sre.Load("MNIST", sre.WithMaxWindows(12))
 	if err != nil {
 		panic(err)
 	}

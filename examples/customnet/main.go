@@ -15,14 +15,11 @@ import (
 func main() {
 	const topology = "conv3x16p1-conv3x16p1-pool-conv3x32p1-pool-128-10"
 
-	cfg := sre.DefaultConfig()
-	cfg.MaxWindows = 24
-
 	fmt.Println("topology:", topology)
 	fmt.Printf("\n%-16s %10s %10s %12s\n", "weight sparsity", "orc", "orc+dof", "energy left")
 	for _, ws := range []float64{0.2, 0.5, 0.8, 0.95} {
-		net, err := sre.BuildNetwork("custom", topology, []int{3, 32, 32},
-			ws, 0.4, sre.SSL, cfg)
+		net, err := sre.Build("custom", topology, []int{3, 32, 32},
+			sre.WithSparsity(ws, 0.4), sre.WithMaxWindows(24))
 		if err != nil {
 			log.Fatal(err)
 		}

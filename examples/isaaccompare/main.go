@@ -19,9 +19,7 @@ func main() {
 	name := flag.String("network", "CIFAR-10", "Table 2 network name")
 	flag.Parse()
 
-	cfg := sre.DefaultConfig()
-	cfg.MaxWindows = 24
-	net, err := sre.LoadNetwork(*name, sre.SSL, cfg)
+	net, err := sre.Load(*name, sre.WithMaxWindows(24))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,9 +23,7 @@ func main() {
 
 	var baseE0, sreE0 float64
 	for _, ou := range []int{128, 64, 32, 16, 8} {
-		cfg := sre.DefaultConfig().WithOU(ou)
-		cfg.MaxWindows = 24
-		net, err := sre.LoadNetwork(*name, sre.SSL, cfg)
+		net, err := sre.Load(*name, sre.WithOU(ou), sre.WithMaxWindows(24))
 		if err != nil {
 			log.Fatal(err)
 		}

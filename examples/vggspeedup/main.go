@@ -19,11 +19,8 @@ func main() {
 	windows := flag.Int("windows", 32, "per-layer window sampling cap (0 = all)")
 	flag.Parse()
 
-	cfg := sre.DefaultConfig()
-	cfg.MaxWindows = *windows
-
 	start := time.Now()
-	net, err := sre.LoadNetwork("VGG-16", sre.SSL, cfg)
+	net, err := sre.Load("VGG-16", sre.WithPrune(sre.SSL), sre.WithMaxWindows(*windows))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+// Package cli is the flag wiring the sre binaries share: the
+// simulation worker-pool width, the window-code cache toggle, and the
+// run-metrics snapshot file/format pair with its writer. Extracting it
+// keeps the four binaries (sresim, srebench, sreaccuracy, sreserved)
+// agreeing on flag names, defaults, and help text, and keeps the
+// json-vs-prom snapshot switch in one place.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sre/internal/metrics"
+)
+
+// AddWorkers registers the shared -workers flag on fs.
+func AddWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "simulation worker-pool width (0 = GOMAXPROCS)")
+}
+
+// AddCodeCache registers the shared -codecache flag on fs.
+func AddCodeCache(fs *flag.FlagSet) *bool {
+	return fs.Bool("codecache", true, "share one window-code materialization per layer across modes")
+}
+
+// MetricsFlags is the parsed -metrics/-metrics-format pair.
+type MetricsFlags struct {
+	Path   string
+	Format string
+}
+
+// AddMetrics registers the shared -metrics and -metrics-format flags
+// on fs.
+func AddMetrics(fs *flag.FlagSet) *MetricsFlags {
+	m := &MetricsFlags{}
+	fs.StringVar(&m.Path, "metrics", "", "write a run-metrics snapshot to this file")
+	fs.StringVar(&m.Format, "metrics-format", "json", "metrics snapshot format: json|prom")
+	return m
+}
+
+// Enabled reports whether a snapshot file was requested.
+func (m *MetricsFlags) Enabled() bool { return m.Path != "" }
+
+// Registry returns a fresh registry when -metrics was given, nil
+// otherwise (a nil registry disables collection everywhere).
+func (m *MetricsFlags) Registry() *metrics.Registry {
+	if !m.Enabled() {
+		return nil
+	}
+	return metrics.NewRegistry()
+}
+
+// Write writes snap to the requested file in the requested format; it
+// is a no-op when -metrics was not given.
+func (m *MetricsFlags) Write(snap *metrics.Snapshot) error {
+	if !m.Enabled() {
+		return nil
+	}
+	f, err := os.Create(m.Path)
+	if err != nil {
+		return err
+	}
+	err = WriteSnapshot(f, m.Format, snap)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteSnapshot writes snap to w in the named format (json|prom).
+func WriteSnapshot(w io.Writer, format string, snap *metrics.Snapshot) error {
+	switch format {
+	case "json":
+		return snap.WriteJSON(w)
+	case "prom":
+		return snap.WritePrometheus(w)
+	}
+	return fmt.Errorf("unknown -metrics-format %q (want json or prom)", format)
+}

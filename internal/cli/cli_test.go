@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	workers := AddWorkers(fs)
+	codeCache := AddCodeCache(fs)
+	m := AddMetrics(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *workers != 0 || !*codeCache || m.Enabled() || m.Format != "json" {
+		t.Fatalf("defaults: workers=%d codecache=%v metrics=%+v", *workers, *codeCache, m)
+	}
+	if m.Registry() != nil {
+		t.Fatal("disabled metrics flags must yield a nil registry")
+	}
+	if err := m.Write(nil); err != nil {
+		t.Fatalf("disabled Write must be a no-op: %v", err)
+	}
+}
+
+func TestMetricsWrite(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m := AddMetrics(fs)
+	path := filepath.Join(t.TempDir(), "snap.prom")
+	if err := fs.Parse([]string{"-metrics", path, "-metrics-format", "prom"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := m.Registry()
+	if reg == nil {
+		t.Fatal("enabled metrics flags must yield a registry")
+	}
+	reg.Shard().Counter("sre_cli_test_total").Add(3)
+	if err := m.Write(reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "sre_cli_test_total 3") {
+		t.Fatalf("prom snapshot missing counter:\n%s", raw)
+	}
+
+	m.Format = "bogus"
+	if err := m.Write(reg.Snapshot()); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+}

@@ -1,0 +1,22 @@
+// HTTP exposition of a live registry: the scrape endpoint sreserved
+// mounts at /metrics. Each request takes a fresh snapshot, so a scrape
+// that lands mid-run sees the in-flight totals (the shard-per-worker
+// cells are atomics precisely so this is race-free).
+package metrics
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry's current
+// snapshot in the Prometheus text exposition format (version 0.0.4).
+// A nil registry serves empty (but well-formed) responses.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r == nil {
+			return
+		}
+		// The write only fails when the client goes away mid-scrape;
+		// there is no useful recovery and the status line is long gone.
+		_ = r.Snapshot().WritePrometheus(w)
+	})
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Shard().Counter("sre_http_test_total").Add(7)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if !strings.Contains(string(body), "sre_http_test_total 7") {
+		t.Fatalf("body missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+}

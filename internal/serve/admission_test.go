@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestGateDepthAndDrain(t *testing.T) {
+	g := NewGate(2)
+	if err := g.Enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Enter(); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third Enter = %v, want ErrSaturated", err)
+	}
+	if got := g.Inflight(); got != 2 {
+		t.Fatalf("inflight = %d", got)
+	}
+
+	done := g.Close()
+	if err := g.Enter(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Enter after Close = %v, want ErrDraining", err)
+	}
+	select {
+	case <-done:
+		t.Fatal("drained before in-flight left")
+	default:
+	}
+	g.Leave()
+	g.Leave()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("drain signal never arrived")
+	}
+	// A second Close on an already-drained gate resolves immediately.
+	select {
+	case <-g.Close():
+	case <-time.After(time.Second):
+		t.Fatal("second Close did not resolve")
+	}
+}
+
+func TestGateCloseIdleResolvesImmediately(t *testing.T) {
+	g := NewGate(4)
+	select {
+	case <-g.Close():
+	case <-time.After(time.Second):
+		t.Fatal("idle Close did not resolve")
+	}
+}
+
+func TestBudgetBlocksAndHonorsContext(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := b.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second Acquire = %v, want DeadlineExceeded", err)
+	}
+	b.Release()
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	b.Release()
+}

@@ -1,0 +1,212 @@
+// Micro-batcher: coalesces requests that can share one sweep. Two
+// requests agree on a BatchKey when they target the same resident
+// network with the same result-affecting run options; the batcher
+// holds the first such request for a short coalescing window, merges
+// the mode sets of every request that arrives meanwhile, runs the
+// union as a single RunModesContext sweep (one pass over the shared
+// window-code planes and plan caches instead of one per request), and
+// fans the per-mode results back out to each waiter.
+//
+// Deadlines: each waiter gives up individually when its own context
+// ends — a 504 for that request only. The sweep itself is cancelled
+// (through the sre.RunContext cancellation path) only when every
+// waiter has abandoned it, so one impatient client cannot kill a
+// result another client is still waiting for.
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sre"
+	"sre/internal/metrics"
+)
+
+// BatchKey groups requests that may share one sweep: the resident
+// network plus every run option that changes results. (Worker width
+// and the code cache do not — results are bit-identical either way.)
+type BatchKey struct {
+	Key        Key
+	MaxWindows int
+	IndexBits  int
+}
+
+// Batcher coalesces and executes sweeps. Create one with NewBatcher.
+type Batcher struct {
+	registry *Registry
+	budget   *Budget
+	window   time.Duration
+	workers  int
+	opts     []sre.Option // extra run options (e.g. WithMetrics)
+	base     context.Context
+
+	mu      sync.Mutex
+	pending map[BatchKey]*batch
+
+	sweeps    *metrics.Counter
+	coalesced *metrics.Counter
+	cancels   *metrics.Counter
+}
+
+type batch struct {
+	modes   []sre.Mode // union, first-seen order
+	waiters []*waiter
+}
+
+type waiter struct {
+	ctx   context.Context
+	modes []sre.Mode
+	ch    chan batchResult // buffered; delivery never blocks the sweep
+}
+
+type batchResult struct {
+	byMode map[sre.Mode]sre.Result
+	size   int // how many requests shared the sweep
+	err    error
+}
+
+// NewBatcher returns a batcher executing against registry under
+// budget. window is the coalescing delay (<=0 disables coalescing:
+// every request sweeps alone); workers is the per-sweep pool width
+// (0 = GOMAXPROCS); base bounds every sweep's lifetime (the server's
+// run context); shard receives the batcher's counters (nil-safe);
+// runOpts are appended to every sweep (the server passes WithMetrics).
+func NewBatcher(registry *Registry, budget *Budget, window time.Duration,
+	workers int, base context.Context, shard *metrics.Shard, runOpts ...sre.Option) *Batcher {
+	return &Batcher{
+		registry:  registry,
+		budget:    budget,
+		window:    window,
+		workers:   workers,
+		opts:      runOpts,
+		base:      base,
+		pending:   map[BatchKey]*batch{},
+		sweeps:    shard.Counter("sre_serve_sweeps_total"),
+		coalesced: shard.Counter("sre_serve_coalesced_requests_total"),
+		cancels:   shard.Counter("sre_serve_sweep_cancels_total"),
+	}
+}
+
+// Do submits one request (key + the modes it wants) and blocks until
+// its results arrive or ctx ends. Returns the results in the order
+// modes was given, plus how many requests shared the sweep.
+func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode) ([]sre.Result, int, error) {
+	w := &waiter{ctx: ctx, modes: modes, ch: make(chan batchResult, 1)}
+
+	b.mu.Lock()
+	bt, ok := b.pending[key]
+	if !ok {
+		bt = &batch{}
+		b.pending[key] = bt
+		if b.window > 0 {
+			time.AfterFunc(b.window, func() { b.run(key) })
+		}
+	} else {
+		b.coalesced.Inc()
+	}
+	bt.waiters = append(bt.waiters, w)
+	for _, m := range modes {
+		if !containsMode(bt.modes, m) {
+			bt.modes = append(bt.modes, m)
+		}
+	}
+	b.mu.Unlock()
+	if b.window <= 0 {
+		go b.run(key)
+	}
+
+	select {
+	case res := <-w.ch:
+		if res.err != nil {
+			return nil, res.size, res.err
+		}
+		out := make([]sre.Result, len(modes))
+		for i, m := range modes {
+			out[i] = res.byMode[m]
+		}
+		return out, res.size, nil
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// run claims the pending batch for key and executes it.
+func (b *Batcher) run(key BatchKey) {
+	b.mu.Lock()
+	bt := b.pending[key]
+	delete(b.pending, key)
+	b.mu.Unlock()
+	if bt == nil {
+		return
+	}
+	b.sweeps.Inc()
+
+	// The sweep is cancelled only once every waiter has abandoned it.
+	runCtx, cancel := context.WithCancel(b.base)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	var live atomic.Int64
+	live.Store(int64(len(bt.waiters)))
+	for _, w := range bt.waiters {
+		go func(w *waiter) {
+			select {
+			case <-w.ctx.Done():
+				if live.Add(-1) == 0 {
+					b.cancels.Inc()
+					cancel()
+				}
+			case <-done:
+			}
+		}(w)
+	}
+
+	deliver := func(res batchResult) {
+		res.size = len(bt.waiters)
+		for _, w := range bt.waiters {
+			w.ch <- res // cap 1, one send per waiter: never blocks
+		}
+	}
+
+	if err := b.budget.Acquire(runCtx); err != nil {
+		deliver(batchResult{err: err})
+		return
+	}
+	defer b.budget.Release()
+
+	net, err := b.registry.Get(runCtx, key.Key)
+	if err != nil {
+		deliver(batchResult{err: err})
+		return
+	}
+	opts := append([]sre.Option{
+		sre.WithMaxWindows(key.MaxWindows),
+		sre.WithIndexBits(key.IndexBits),
+		sre.WithWorkers(b.workers),
+	}, b.opts...)
+	results, err := net.RunModesContext(runCtx, bt.modes, opts...)
+	if err != nil {
+		deliver(batchResult{err: err})
+		return
+	}
+	byMode := make(map[sre.Mode]sre.Result, len(results))
+	for _, r := range results {
+		// Strip the sweep-wide metrics snapshot: responses must be
+		// bit-identical to a direct run, and /metrics serves the
+		// aggregate view.
+		r.Metrics = nil
+		byMode[r.Mode] = r
+	}
+	deliver(batchResult{byMode: byMode})
+}
+
+func containsMode(ms []sre.Mode, m sre.Mode) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

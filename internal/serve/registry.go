@@ -1,0 +1,147 @@
+// Network registry: the resident-model half of sreserved. Building a
+// Table 2 network (workload synthesis + compression structures) costs
+// orders of magnitude more than simulating one request against it, and
+// the built Network is immutable and safe for unlimited concurrent
+// runs (see sre.Network's thread-safety contract), so the server keeps
+// one instance per (network, prune, build-config) key and builds it
+// lazily under singleflight: however many requests race for a cold
+// key, exactly one goroutine builds while the rest wait on the entry.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sre"
+)
+
+// Key identifies one resident network: the build-scoped part of a
+// request. Run-scoped knobs (MaxWindows, IndexBits, workers, code
+// cache) are per-run options on the shared instance and do not fork a
+// new build.
+type Key struct {
+	Network        string
+	Prune          sre.PruneStyle
+	Crossbar       int
+	OUHeight       int
+	OUWidth        int
+	WeightBits     int
+	ActivationBits int
+	CellBits       int
+	DACBits        int
+	Seed           uint64
+}
+
+// KeyFor extracts the build-scoped fields of cfg into a Key.
+func KeyFor(network string, prune sre.PruneStyle, cfg sre.Config) Key {
+	return Key{
+		Network:        network,
+		Prune:          prune,
+		Crossbar:       cfg.CrossbarSize,
+		OUHeight:       cfg.OUHeight,
+		OUWidth:        cfg.OUWidth,
+		WeightBits:     cfg.WeightBits,
+		ActivationBits: cfg.ActivationBits,
+		CellBits:       cfg.CellBits,
+		DACBits:        cfg.DACBits,
+		Seed:           cfg.Seed,
+	}
+}
+
+// Config reconstitutes the build config the key stands for; run-scoped
+// fields stay at their defaults (they are per-request).
+func (k Key) Config() sre.Config {
+	cfg := sre.DefaultConfig()
+	cfg.CrossbarSize = k.Crossbar
+	cfg.OUHeight, cfg.OUWidth = k.OUHeight, k.OUWidth
+	cfg.WeightBits, cfg.ActivationBits = k.WeightBits, k.ActivationBits
+	cfg.CellBits, cfg.DACBits = k.CellBits, k.DACBits
+	cfg.Seed = k.Seed
+	return cfg
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/xbar%d/ou%dx%d/w%da%d/cell%d/dac%d/seed%d",
+		k.Network, k.Prune, k.Crossbar, k.OUHeight, k.OUWidth,
+		k.WeightBits, k.ActivationBits, k.CellBits, k.DACBits, k.Seed)
+}
+
+// Registry holds the resident networks. The zero value is not usable;
+// create one with NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[Key]*regEntry
+	builds  atomic.Int64
+}
+
+type regEntry struct {
+	ready chan struct{} // closed once net/err are final
+	net   *sre.Network
+	err   error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[Key]*regEntry{}}
+}
+
+// Get returns the resident network for key, building it on first use.
+// Concurrent callers with the same cold key trigger exactly one build;
+// the rest block until it finishes or their context ends. A caller
+// whose context expires mid-build gets ctx.Err() while the build runs
+// to completion for the survivors — an abandoned wait never poisons
+// the entry. Failed builds are not cached: the entry is dropped so a
+// later request retries instead of replaying a stale error.
+func (r *Registry) Get(ctx context.Context, key Key) (*sre.Network, error) {
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if !ok {
+		e = &regEntry{ready: make(chan struct{})}
+		r.entries[key] = e
+		r.mu.Unlock()
+		r.builds.Add(1)
+		e.net, e.err = sre.Load(key.Network,
+			sre.WithConfig(key.Config()), sre.WithPrune(key.Prune))
+		if e.err != nil {
+			r.mu.Lock()
+			delete(r.entries, key)
+			r.mu.Unlock()
+		}
+		close(e.ready)
+		return e.net, e.err
+	}
+	r.mu.Unlock()
+	select {
+	case <-e.ready:
+		return e.net, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Builds returns how many network builds the registry has started —
+// the singleflight invariant under test: N concurrent same-key
+// requests must move this by exactly 1.
+func (r *Registry) Builds() int64 { return r.builds.Load() }
+
+// Keys lists the resident (successfully built) keys, sorted by their
+// String form for stable /v1/networks output.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	keys := make([]Key, 0, len(r.entries))
+	for k, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				keys = append(keys, k)
+			}
+		default: // still building; not resident yet
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}

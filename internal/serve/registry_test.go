@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"sre"
+)
+
+func TestRegistrySingleflight(t *testing.T) {
+	r := NewRegistry()
+	key := KeyFor("MNIST", sre.SSL, sre.DefaultConfig())
+
+	const callers = 16
+	nets := make([]*sre.Network, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := r.Get(context.Background(), key)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			nets[i] = n
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Builds(); got != 1 {
+		t.Fatalf("Builds() = %d after %d concurrent same-key Gets, want 1", got, callers)
+	}
+	for i := 1; i < callers; i++ {
+		if nets[i] != nets[0] {
+			t.Fatalf("caller %d got a distinct instance", i)
+		}
+	}
+	keys := r.Keys()
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Keys() = %v, want [%v]", keys, key)
+	}
+}
+
+func TestRegistryFailedBuildNotCached(t *testing.T) {
+	r := NewRegistry()
+	key := KeyFor("no-such-network", sre.SSL, sre.DefaultConfig())
+
+	if _, err := r.Get(context.Background(), key); err == nil {
+		t.Fatal("Get(bogus) succeeded")
+	}
+	if got := r.Builds(); got != 1 {
+		t.Fatalf("Builds() = %d, want 1", got)
+	}
+	// The failed entry must be dropped, so the next Get retries the
+	// build rather than replaying a cached error.
+	if _, err := r.Get(context.Background(), key); err == nil {
+		t.Fatal("second Get(bogus) succeeded")
+	}
+	if got := r.Builds(); got != 2 {
+		t.Fatalf("Builds() = %d after retry, want 2 (failed build was cached)", got)
+	}
+	if keys := r.Keys(); len(keys) != 0 {
+		t.Fatalf("Keys() = %v, want empty", keys)
+	}
+}
+
+func TestRegistryAbandonedWaiter(t *testing.T) {
+	r := NewRegistry()
+	key := KeyFor("MNIST", sre.SSL, sre.DefaultConfig())
+
+	// A waiter whose context is already cancelled gets ctx.Err() even
+	// while the build (driven by a healthy caller) completes.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := r.Get(context.Background(), key); err != nil {
+			t.Errorf("builder: %v", err)
+		}
+	}()
+	// This Get either becomes the builder itself (and succeeds: the
+	// builder never checks ctx) or waits and sees context.Canceled.
+	if _, err := r.Get(cancelled, key); err != nil && err != context.Canceled {
+		t.Fatalf("abandoned Get: %v", err)
+	}
+	wg.Wait()
+	// Whichever interleaving happened, the entry must be healthy now.
+	if _, err := r.Get(context.Background(), key); err != nil {
+		t.Fatalf("post-abandon Get: %v", err)
+	}
+	if got := r.Builds(); got > 2 {
+		t.Fatalf("Builds() = %d, want at most 2", got)
+	}
+}

@@ -1,0 +1,373 @@
+// Package serve is the sreserved simulation service: a long-lived
+// HTTP/JSON front end over the sre library that keeps built networks
+// resident (registry.go), admits a bounded number of concurrent
+// requests (admission.go), coalesces same-key requests into shared
+// sweeps (batcher.go), and drains gracefully on shutdown. One process
+// amortizes Load's workload synthesis and the simulator's plan and
+// window-code caches across every request that hits the same design
+// point — the serving shape ReRAM accelerator stacks assume, where the
+// compressed structures are built once and reused.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sre"
+	"sre/internal/metrics"
+)
+
+// Options configures a Server. The zero value serves with the
+// defaults noted per field.
+type Options struct {
+	// MaxQueue bounds admitted-but-unfinished requests (default 64);
+	// excess requests get 503 + Retry-After instead of queueing
+	// without bound.
+	MaxQueue int
+	// MaxSweeps caps concurrent simulation sweeps (default 2), so
+	// admitted requests cannot oversubscribe the worker pool.
+	MaxSweeps int
+	// BatchWindow is the micro-batcher's coalescing delay (default
+	// 2ms; negative disables coalescing so every request sweeps alone).
+	BatchWindow time.Duration
+	// Workers is the per-sweep worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 60s); MaxTimeout caps what a request may ask for
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Metrics receives both the server's own counters and every
+	// sweep's simulator metrics; /metrics serves it. NewServer creates
+	// one when nil.
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 2
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
+	return o
+}
+
+// Server is the simulation service. Create one with NewServer; it
+// implements http.Handler.
+type Server struct {
+	opts     Options
+	registry *Registry
+	gate     *Gate
+	batcher  *Batcher
+	mux      *http.ServeMux
+	stop     context.CancelFunc // cancels the sweeps' base context
+
+	requests *metrics.Counter
+	rejected *metrics.Counter
+	timeouts *metrics.Counter
+	inflight *metrics.Gauge
+}
+
+// NewServer returns a ready-to-serve Server.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	base, stop := context.WithCancel(context.Background())
+	shard := opts.Metrics.Shard()
+	window := opts.BatchWindow
+	if window < 0 {
+		window = 0
+	}
+	s := &Server{
+		opts:     opts,
+		registry: NewRegistry(),
+		gate:     NewGate(opts.MaxQueue),
+		stop:     stop,
+		requests: shard.Counter("sre_serve_requests_total"),
+		rejected: shard.Counter("sre_serve_rejected_total"),
+		timeouts: shard.Counter("sre_serve_timeouts_total"),
+		inflight: shard.Gauge("sre_serve_inflight_requests"),
+	}
+	s.batcher = NewBatcher(s.registry, NewBudget(opts.MaxSweeps), window,
+		opts.Workers, base, shard, sre.WithMetrics(opts.Metrics))
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", opts.Metrics.Handler())
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the server's registry (for the drain-time snapshot).
+func (s *Server) Metrics() *metrics.Registry { return s.opts.Metrics }
+
+// Registry exposes the resident-network registry (read-mostly; tests
+// assert its build-once invariant).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Drain gracefully shuts the service down: stop admitting (new
+// requests get 503), let every in-flight request finish, then cancel
+// the sweeps' base context. Returns nil once drained, or ctx.Err if
+// ctx ends first (in-flight sweeps are then cancelled mid-run). Pair
+// it with http.Server.Shutdown, which drains the connections.
+func (s *Server) Drain(ctx context.Context) error {
+	done := s.gate.Close()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop()
+		return ctx.Err()
+	}
+}
+
+// SimulateRequest is the POST /v1/simulate body. Exactly the canonical
+// spellings the CLIs use: modes via sre.ParseMode, prune styles via
+// sre.ParsePruneStyle.
+type SimulateRequest struct {
+	// Network is a Table 2 name (GET /v1/networks lists them).
+	Network string `json:"network"`
+	// Prune is ssl|gsl|dense (default ssl).
+	Prune string `json:"prune,omitempty"`
+	// Mode names one mode; Modes names several (or ["all"]). At least
+	// one of the two must be set.
+	Mode  string   `json:"mode,omitempty"`
+	Modes []string `json:"modes,omitempty"`
+	// Config overrides individual fields of the default design point.
+	Config ConfigOverrides `json:"config"`
+	// TimeoutMillis is the per-request deadline; 0 means the server
+	// default. The deadline propagates into the simulation via context
+	// cancellation; an expired request gets 504.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// ConfigOverrides patches sre.DefaultConfig field by field. Build-
+// scoped fields select the resident network; run-scoped fields
+// (max_windows, index_bits) apply per request on the shared instance.
+type ConfigOverrides struct {
+	Crossbar   *int    `json:"crossbar,omitempty"`
+	OU         *int    `json:"ou,omitempty"` // square OU size
+	WeightBits *int    `json:"weight_bits,omitempty"`
+	ActBits    *int    `json:"act_bits,omitempty"`
+	CellBits   *int    `json:"cell_bits,omitempty"`
+	DACBits    *int    `json:"dac_bits,omitempty"`
+	IndexBits  *int    `json:"index_bits,omitempty"`
+	MaxWindows *int    `json:"max_windows,omitempty"`
+	Seed       *uint64 `json:"seed,omitempty"`
+}
+
+func (o ConfigOverrides) apply(cfg sre.Config) sre.Config {
+	if o.Crossbar != nil {
+		cfg.CrossbarSize = *o.Crossbar
+	}
+	if o.OU != nil {
+		cfg.OUHeight, cfg.OUWidth = *o.OU, *o.OU
+	}
+	if o.WeightBits != nil {
+		cfg.WeightBits = *o.WeightBits
+	}
+	if o.ActBits != nil {
+		cfg.ActivationBits = *o.ActBits
+	}
+	if o.CellBits != nil {
+		cfg.CellBits = *o.CellBits
+	}
+	if o.DACBits != nil {
+		cfg.DACBits = *o.DACBits
+	}
+	if o.IndexBits != nil {
+		cfg.IndexBits = *o.IndexBits
+	}
+	if o.MaxWindows != nil {
+		cfg.MaxWindows = *o.MaxWindows
+	}
+	if o.Seed != nil {
+		cfg.Seed = *o.Seed
+	}
+	return cfg
+}
+
+// SimulateResponse is the POST /v1/simulate reply. Results come back
+// in the order the request named its modes; each Result is
+// bit-identical to a direct Network.RunContext with the same options
+// (the sweep-wide metrics snapshot is stripped — scrape /metrics for
+// the aggregate view).
+type SimulateResponse struct {
+	Network   string       `json:"network"`
+	Prune     string       `json:"prune"`
+	BatchSize int          `json:"batch_size"` // requests that shared the sweep
+	Results   []sre.Result `json:"results"`
+}
+
+// NetworksResponse is the GET /v1/networks reply.
+type NetworksResponse struct {
+	// Networks lists every loadable Table 2 name.
+	Networks []string `json:"networks"`
+	// Resident lists the built, cached design points.
+	Resident []string `json:"resident"`
+	// Builds counts network builds since startup.
+	Builds int64 `json:"builds"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	keys := s.registry.Keys()
+	resp := NetworksResponse{
+		Networks: sre.Networks(),
+		Resident: make([]string, len(keys)),
+		Builds:   s.registry.Builds(),
+	}
+	for i, k := range keys {
+		resp.Resident[i] = k.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	key, batchKey, modes, status, err := s.resolve(req)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+
+	if err := s.gate.Enter(); err != nil {
+		s.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	defer func() {
+		s.gate.Leave()
+		s.inflight.Set(int64(s.gate.Inflight()))
+	}()
+	s.inflight.Set(int64(s.gate.Inflight()))
+
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > s.opts.MaxTimeout {
+		timeout = s.opts.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	results, size, err := s.batcher.Do(ctx, batchKey, modes)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away or the server is stopping mid-flight.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Network:   key.Network,
+		Prune:     key.Prune.String(),
+		BatchSize: size,
+		Results:   results,
+	})
+}
+
+// resolve validates a request into its registry key, batch key, and
+// mode list, returning the HTTP status to use on error.
+func (s *Server) resolve(req SimulateRequest) (Key, BatchKey, []sre.Mode, int, error) {
+	known := false
+	for _, n := range sre.Networks() {
+		if n == req.Network {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Key{}, BatchKey{}, nil, http.StatusNotFound,
+			fmt.Errorf("unknown network %q (GET /v1/networks lists them)", req.Network)
+	}
+	prune := sre.SSL
+	if req.Prune != "" {
+		var err error
+		if prune, err = sre.ParsePruneStyle(req.Prune); err != nil {
+			return Key{}, BatchKey{}, nil, http.StatusBadRequest, err
+		}
+	}
+	names := req.Modes
+	if req.Mode != "" {
+		names = append([]string{req.Mode}, names...)
+	}
+	if len(names) == 0 {
+		return Key{}, BatchKey{}, nil, http.StatusBadRequest,
+			fmt.Errorf(`request names no modes (set "mode" or "modes"; "all" selects every mode)`)
+	}
+	var modes []sre.Mode
+	for _, name := range names {
+		if name == "all" {
+			for _, m := range sre.Modes() {
+				if !containsMode(modes, m) {
+					modes = append(modes, m)
+				}
+			}
+			continue
+		}
+		m, err := sre.ParseMode(name)
+		if err != nil {
+			return Key{}, BatchKey{}, nil, http.StatusBadRequest, err
+		}
+		if !containsMode(modes, m) {
+			modes = append(modes, m)
+		}
+	}
+	cfg := req.Config.apply(sre.DefaultConfig())
+	if err := cfg.Validate(); err != nil {
+		return Key{}, BatchKey{}, nil, http.StatusBadRequest, err
+	}
+	key := KeyFor(req.Network, prune, cfg)
+	return key, BatchKey{Key: key, MaxWindows: cfg.MaxWindows, IndexBits: cfg.IndexBits},
+		modes, 0, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

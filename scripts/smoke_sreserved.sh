@@ -1,0 +1,49 @@
+#!/bin/sh
+# End-to-end smoke test for the sreserved daemon: boot it on an
+# ephemeral port, hit /healthz, run one simulation round-trip, scrape
+# /metrics, then SIGTERM it and require a clean graceful-drain exit.
+# Usage: smoke_sreserved.sh <path-to-sreserved-binary>
+set -eu
+
+BIN=${1:?usage: smoke_sreserved.sh <sreserved binary>}
+ADDR=127.0.0.1:18344
+BASE=http://$ADDR
+
+"$BIN" -addr "$ADDR" -grace 30s &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the listener (the daemon builds nothing at startup, so this
+# is quick — the loop just absorbs scheduler jitter).
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "smoke: sreserved never became healthy" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+echo "smoke: /healthz ok"
+
+curl -sf "$BASE/v1/networks" | grep -q '"MNIST"'
+echo "smoke: /v1/networks lists MNIST"
+
+OUT=$(curl -sf -X POST "$BASE/v1/simulate" -d \
+	'{"network":"MNIST","modes":["baseline","orc+dof"],"config":{"max_windows":6},"timeout_ms":60000}')
+echo "$OUT" | grep -q '"Mode": "orc+dof"'
+echo "$OUT" | grep -q '"Cycles"'
+echo "smoke: /v1/simulate round-trip ok"
+
+curl -sf "$BASE/metrics" | grep -q '^sre_serve_requests_total 1$'
+echo "smoke: /metrics scrape ok"
+
+kill -TERM "$PID"
+WAIT_STATUS=0
+wait "$PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+	echo "smoke: sreserved exited $WAIT_STATUS on SIGTERM (want 0)" >&2
+	exit 1
+fi
+echo "smoke: SIGTERM drained cleanly"

@@ -20,6 +20,7 @@ package sre
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"sre/internal/compress"
@@ -77,6 +78,40 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// ParseMode parses a Mode's canonical spelling ("baseline", "naive",
+// "recom", "orc", "dof", "orc+dof"), case-insensitively. It is the
+// inverse of Mode.String and the single spelling shared by the CLIs
+// and the sreserved wire format.
+func ParseMode(s string) (Mode, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, m := range Modes() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("sre: unknown mode %q (want baseline|naive|recom|orc|dof|orc+dof)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler with the canonical
+// spelling, so Mode fields JSON-encode as strings ("orc+dof") rather
+// than bare ints.
+func (m Mode) MarshalText() ([]byte, error) {
+	if m < Baseline || m > ORCDOF {
+		return nil, fmt.Errorf("sre: cannot marshal unknown mode %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseMode.
+func (m *Mode) UnmarshalText(text []byte) error {
+	v, err := ParseMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 func (m Mode) coreMode() (core.Mode, error) {
 	switch m {
 	case Baseline:
@@ -108,6 +143,52 @@ const (
 	// Dense leaves the weights unpruned.
 	Dense
 )
+
+// PruneStyles lists every pruning style.
+func PruneStyles() []PruneStyle { return []PruneStyle{SSL, GSL, Dense} }
+
+func (s PruneStyle) String() string {
+	switch s {
+	case SSL:
+		return "ssl"
+	case GSL:
+		return "gsl"
+	case Dense:
+		return "dense"
+	}
+	return fmt.Sprintf("prune(%d)", int(s))
+}
+
+// ParsePruneStyle parses a PruneStyle's canonical spelling ("ssl",
+// "gsl", "dense"), case-insensitively.
+func ParsePruneStyle(s string) (PruneStyle, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, st := range PruneStyles() {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("sre: unknown prune style %q (want ssl|gsl|dense)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler with the canonical
+// spelling.
+func (s PruneStyle) MarshalText() ([]byte, error) {
+	if s < SSL || s > Dense {
+		return nil, fmt.Errorf("sre: cannot marshal unknown prune style %d", int(s))
+	}
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParsePruneStyle.
+func (s *PruneStyle) UnmarshalText(text []byte) error {
+	v, err := ParsePruneStyle(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
 
 // Config selects the simulated hardware point. The zero value is not
 // valid; start from DefaultConfig. New code should prefer the
@@ -324,8 +405,17 @@ type Result struct {
 	Metrics *MetricsSnapshot
 }
 
-// Network is a built, simulator-ready model. Its Run methods are safe
-// for concurrent use.
+// Network is a built, simulator-ready model.
+//
+// Thread safety: a Network is immutable after construction — the built
+// layers, compression structures, and plan/code-plane caches are
+// read-only or internally synchronized (sync.Once-per-key builds) — so
+// all Run methods are safe for unlimited concurrent use from multiple
+// goroutines, including overlapping RunContext/RunAllContext calls on
+// the same instance. Lazy OCC structures are guarded by a mutex.
+// Concurrent runs that share a WithMetrics registry fold into one
+// deterministic snapshot. This is the contract sreserved relies on to
+// serve one resident Network per (network, prune, config) key.
 type Network struct {
 	name     string
 	spec     workload.Spec
@@ -386,22 +476,6 @@ func Build(name, topology string, inputShape []int, opts ...Option) (*Network, e
 		GSLFC:          s.weightSp,
 	}
 	return buildNetwork(spec, s)
-}
-
-// LoadNetwork builds a Table 2 network from a bare Config.
-//
-// Deprecated: Use Load with functional options.
-func LoadNetwork(name string, style PruneStyle, cfg Config) (*Network, error) {
-	return Load(name, WithPrune(style), WithConfig(cfg))
-}
-
-// BuildNetwork builds a custom model from a bare Config.
-//
-// Deprecated: Use Build with WithSparsity and other functional options.
-func BuildNetwork(name, topology string, inputShape []int,
-	weightSparsity, activationSparsity float64, style PruneStyle, cfg Config) (*Network, error) {
-	return Build(name, topology, inputShape,
-		WithPrune(style), WithConfig(cfg), WithSparsity(weightSparsity, activationSparsity))
 }
 
 func buildNetwork(spec workload.Spec, s settings) (*Network, error) {
@@ -561,11 +635,23 @@ func (n *Network) RunAll() ([]Result, error) {
 // Results come back in Modes() order regardless of completion order
 // (use ResultsByMode to key them); per-run options apply to every mode.
 func (n *Network) RunAllContext(ctx context.Context, opts ...Option) ([]Result, error) {
+	return n.RunModesContext(ctx, Modes(), opts...)
+}
+
+// RunModesContext simulates the given modes — any non-empty subset of
+// Modes(), in any order — concurrently through one shared worker pool,
+// exactly as RunAllContext does for the full set. Results come back in
+// the order modes was given. It is the primitive sreserved's
+// micro-batcher uses to run the union of a batch's requested modes as
+// one sweep.
+func (n *Network) RunModesContext(ctx context.Context, modes []Mode, opts ...Option) ([]Result, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("sre: RunModesContext needs at least one mode")
+	}
 	s, err := n.runSettings(opts)
 	if err != nil {
 		return nil, err
 	}
-	modes := Modes()
 	pool := parallel.New(s.cfg.Workers)
 	out := make([]Result, len(modes))
 	errs := make([]error, len(modes))

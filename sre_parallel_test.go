@@ -144,30 +144,64 @@ func TestRunRejectsBuildScopedOptions(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructorsMatchOptions pins the compatibility contract:
-// the Config-based wrappers build the same network as the options API.
-func TestDeprecatedConstructorsMatchOptions(t *testing.T) {
+// TestWithConfigMatchesOptions pins the options-API contract: adopting
+// a whole Config via WithConfig builds the same network as spelling the
+// same design point with granular options.
+func TestWithConfigMatchesOptions(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxWindows = 12
-	old, err := LoadNetwork("CIFAR-10", SSL, cfg)
+	whole, err := Load("CIFAR-10", WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	new_, err := Load("CIFAR-10", WithPrune(SSL), WithMaxWindows(12))
+	granular, err := Load("CIFAR-10", WithPrune(SSL), WithMaxWindows(12))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro, err := old.Run(ORCDOF)
+	ro, err := whole.Run(ORCDOF)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rn, err := new_.Run(ORCDOF)
+	rn, err := granular.Run(ORCDOF)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ro.Cycles != rn.Cycles || ro.Energy != rn.Energy {
-		t.Fatalf("deprecated wrapper diverged: %d/%v vs %d/%v",
+		t.Fatalf("WithConfig diverged from granular options: %d/%v vs %d/%v",
 			ro.Cycles, ro.Energy, rn.Cycles, rn.Energy)
+	}
+}
+
+// TestRunModesContextSubset pins the batcher's primitive: a subset
+// sweep returns results in the requested order, each bit-identical to
+// the standalone run of that mode.
+func TestRunModesContextSubset(t *testing.T) {
+	net, err := Load("MNIST", smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []Mode{ORCDOF, Naive, DOF}
+	results, err := net.RunModesContext(context.Background(), modes, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(modes) {
+		t.Fatalf("got %d results for %d modes", len(results), len(modes))
+	}
+	for i, m := range modes {
+		if results[i].Mode != m {
+			t.Fatalf("results[%d].Mode = %v, want %v", i, results[i].Mode, m)
+		}
+		one, err := net.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Cycles != one.Cycles || results[i].Energy != one.Energy {
+			t.Fatalf("%v: RunModesContext result differs from Run", m)
+		}
+	}
+	if _, err := net.RunModesContext(context.Background(), nil); err == nil {
+		t.Fatal("accepted an empty mode set")
 	}
 }
 

@@ -22,7 +22,7 @@ func TestNetworksList(t *testing.T) {
 }
 
 func TestLoadUnknownNetwork(t *testing.T) {
-	if _, err := LoadNetwork("nope", SSL, testConfig()); err == nil {
+	if _, err := Load("nope", WithConfig(testConfig())); err == nil {
 		t.Fatal("accepted unknown network")
 	}
 }
@@ -38,8 +38,8 @@ func TestConfigValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Fatal("accepted non-dividing cell bits")
 	}
-	if _, err := LoadNetwork("MNIST", SSL, bad); err == nil {
-		t.Fatal("LoadNetwork accepted invalid config")
+	if _, err := Load("MNIST", WithConfig(bad)); err == nil {
+		t.Fatal("Load accepted invalid config")
 	}
 }
 
@@ -58,7 +58,7 @@ func TestModesRoundTrip(t *testing.T) {
 }
 
 func TestRunMNISTShape(t *testing.T) {
-	net, err := LoadNetwork("MNIST", SSL, testConfig())
+	net, err := Load("MNIST", WithConfig(testConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +96,11 @@ func TestRunMNISTShape(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	cfg := testConfig()
-	a, err := LoadNetwork("CIFAR-10", SSL, cfg)
+	a, err := Load("CIFAR-10", WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := LoadNetwork("CIFAR-10", SSL, cfg)
+	b, err := Load("CIFAR-10", WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,8 +115,8 @@ func TestSeedChangesResults(t *testing.T) {
 	cfg := testConfig()
 	cfg2 := cfg
 	cfg2.Seed = 99
-	a, _ := LoadNetwork("CIFAR-10", SSL, cfg)
-	b, _ := LoadNetwork("CIFAR-10", SSL, cfg2)
+	a, _ := Load("CIFAR-10", WithConfig(cfg))
+	b, _ := Load("CIFAR-10", WithConfig(cfg2))
 	ra, _ := a.Run(ORCDOF)
 	rb, _ := b.Run(ORCDOF)
 	if ra.Cycles == rb.Cycles {
@@ -126,11 +126,11 @@ func TestSeedChangesResults(t *testing.T) {
 
 func TestGSLWeakensORC(t *testing.T) {
 	cfg := testConfig()
-	ssl, err := LoadNetwork("CIFAR-10", SSL, cfg)
+	ssl, err := Load("CIFAR-10", WithConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	gsl, err := LoadNetwork("CIFAR-10", GSL, cfg)
+	gsl, err := Load("CIFAR-10", WithConfig(cfg), WithPrune(GSL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestGSLWeakensORC(t *testing.T) {
 }
 
 func TestIdealBoundsORC(t *testing.T) {
-	net, err := LoadNetwork("MNIST", SSL, testConfig())
+	net, err := Load("MNIST", WithConfig(testConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestIdealBoundsORC(t *testing.T) {
 }
 
 func TestRunISAAC(t *testing.T) {
-	net, err := LoadNetwork("MNIST", SSL, testConfig())
+	net, err := Load("MNIST", WithConfig(testConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +172,8 @@ func TestOUBaselineCostsMoreThanISAAC(t *testing.T) {
 	// §7.5: roughly 2.5x). This holds for layers that fill their
 	// crossbars; MNIST's 25-row first conv does not, so use a network
 	// whose tiles are mostly full.
-	net, err := BuildNetwork("full-tiles", "conv3x32p1-conv3x32p1-pool-10",
-		[]int{32, 16, 16}, 0.0, 0.3, Dense, testConfig())
+	net, err := Build("full-tiles", "conv3x32p1-conv3x32p1-pool-10", []int{32, 16, 16},
+		WithConfig(testConfig()), WithPrune(Dense), WithSparsity(0.0, 0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,8 +190,8 @@ func TestOUBaselineCostsMoreThanISAAC(t *testing.T) {
 
 func TestBuildCustomNetwork(t *testing.T) {
 	cfg := testConfig()
-	net, err := BuildNetwork("custom", "conv3x8p1-pool-conv3x8p1-pool-32-5",
-		[]int{1, 16, 16}, 0.6, 0.4, SSL, cfg)
+	net, err := Build("custom", "conv3x8p1-pool-conv3x8p1-pool-32-5", []int{1, 16, 16},
+		WithConfig(cfg), WithSparsity(0.6, 0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,10 +207,10 @@ func TestBuildCustomNetwork(t *testing.T) {
 
 func TestBuildCustomNetworkErrors(t *testing.T) {
 	cfg := testConfig()
-	if _, err := BuildNetwork("bad", "bogus", []int{1, 8, 8}, 0.5, 0.5, SSL, cfg); err == nil {
+	if _, err := Build("bad", "bogus", []int{1, 8, 8}, WithConfig(cfg)); err == nil {
 		t.Fatal("accepted bogus topology")
 	}
-	if _, err := BuildNetwork("bad", "4", []int{1, 8}, 0.5, 0.5, SSL, cfg); err == nil {
+	if _, err := Build("bad", "4", []int{1, 8}, WithConfig(cfg)); err == nil {
 		t.Fatal("accepted rank-2 input shape")
 	}
 }
@@ -239,7 +239,7 @@ func TestOUSweepViaConfig(t *testing.T) {
 	var prev int64 = -1
 	for _, ou := range []int{8, 16, 32} {
 		cfg := testConfig().WithOU(ou)
-		net, err := LoadNetwork("MNIST", SSL, cfg)
+		net, err := Load("MNIST", WithConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +252,7 @@ func TestOUSweepViaConfig(t *testing.T) {
 }
 
 func TestRunOCC(t *testing.T) {
-	net, err := LoadNetwork("CIFAR-10", SSL, testConfig())
+	net, err := Load("CIFAR-10", WithConfig(testConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,111 @@
+package sre
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestModeTextRoundTrip pins the canonical Mode spelling shared by the
+// CLIs and the sreserved wire format: String → ParseMode is the
+// identity, and the encoding.Text{Marshaler,Unmarshaler} pair agrees.
+func TestModeTextRoundTrip(t *testing.T) {
+	for _, m := range Modes() {
+		parsed, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.String(), err)
+		}
+		if parsed != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", m.String(), parsed, m)
+		}
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("%v MarshalText: %v", m, err)
+		}
+		var back Mode
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%v UnmarshalText(%q): %v", m, text, err)
+		}
+		if back != m {
+			t.Fatalf("text round trip %v -> %q -> %v", m, text, back)
+		}
+	}
+	// Case- and space-insensitive on the way in.
+	if m, err := ParseMode(" ORC+DOF "); err != nil || m != ORCDOF {
+		t.Fatalf("ParseMode(\" ORC+DOF \") = %v, %v", m, err)
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+	if _, err := Mode(99).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an unknown mode")
+	}
+}
+
+func TestPruneStyleTextRoundTrip(t *testing.T) {
+	for _, s := range PruneStyles() {
+		parsed, err := ParsePruneStyle(strings.ToUpper(s.String()))
+		if err != nil {
+			t.Fatalf("ParsePruneStyle(%q): %v", s.String(), err)
+		}
+		if parsed != s {
+			t.Fatalf("ParsePruneStyle(%q) = %v, want %v", s.String(), parsed, s)
+		}
+		text, err := s.MarshalText()
+		if err != nil {
+			t.Fatalf("%v MarshalText: %v", s, err)
+		}
+		var back PruneStyle
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("%v UnmarshalText(%q): %v", s, text, err)
+		}
+		if back != s {
+			t.Fatalf("text round trip %v -> %q -> %v", s, text, back)
+		}
+	}
+	if _, err := ParsePruneStyle("bogus"); err == nil {
+		t.Fatal("ParsePruneStyle accepted an unknown style")
+	}
+	if _, err := PruneStyle(99).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an unknown style")
+	}
+}
+
+// TestResultJSONRoundTrip proves a served Result survives the wire:
+// JSON encode → decode reproduces the struct exactly (Mode as its
+// canonical string, Breakdown and LayerResult field-for-field).
+func TestResultJSONRoundTrip(t *testing.T) {
+	net, err := Load("MNIST", WithMaxWindows(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Run(ORCDOF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"Mode":"orc+dof"`) {
+		t.Fatalf("Mode did not marshal as its canonical string: %s", raw)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != res.Mode || back.Cycles != res.Cycles ||
+		back.Seconds != res.Seconds || back.Energy != res.Energy ||
+		back.CompressionRatio != res.CompressionRatio ||
+		back.IndexStorageBits != res.IndexStorageBits {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", back, res)
+	}
+	if len(back.Layers) != len(res.Layers) {
+		t.Fatalf("layers: got %d, want %d", len(back.Layers), len(res.Layers))
+	}
+	for i := range res.Layers {
+		if back.Layers[i] != res.Layers[i] {
+			t.Fatalf("layer %d diverged: %+v vs %+v", i, back.Layers[i], res.Layers[i])
+		}
+	}
+}

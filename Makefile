@@ -14,7 +14,7 @@ BENCH_OUT ?= BENCH_PR4.json
 #   make bench-compare BENCH_OLD=BENCH_PR2.json BENCH_OUT=BENCH_PR3.json
 BENCH_OLD ?= BENCH_PR3.json
 
-.PHONY: all build vet test race bench-smoke smoke verify bench bench-quick bench-sweep bench-compare results profile clean
+.PHONY: all build vet test race bench-smoke smoke verify bench bench-quick bench-sweep bench-compare bench-coldstart snapshot-roundtrip results profile clean
 
 all: verify
 
@@ -68,6 +68,20 @@ bench-sweep:
 bench-compare:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	./bin/benchjson -compare $(BENCH_OLD) $(BENCH_OUT)
+
+# bench-coldstart records the snapshot format's acceptance numbers:
+# VGG-16 cold start through a full build vs through OpenSnapshot
+# (expect OpenSnapshot ≥10x faster).
+bench-coldstart:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run=NONE -bench 'BenchmarkColdStart' \
+		-benchmem -benchtime 2x . | ./bin/benchjson -out BENCH_PR6.json
+
+# snapshot-roundtrip drives the artifact format end to end through the
+# CLI: build + persist, reload from the snapshot dir, diff the outputs.
+snapshot-roundtrip:
+	$(GO) build -o bin/sresim ./cmd/sresim
+	./scripts/snapshot_roundtrip.sh ./bin/sresim
 
 # results regenerates the full experiment record (every table/figure,
 # paper order) from the current code. The output is not tracked — run

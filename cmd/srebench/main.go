@@ -33,6 +33,7 @@ func main() {
 		windows    = flag.Int("windows", 48, "per-layer window sampling cap (0 = all windows)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		workers    = cli.AddWorkers(flag.CommandLine)
+		snapDir    = cli.AddSnapshotDir(flag.CommandLine)
 		codeCache  = cli.AddCodeCache(flag.CommandLine)
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,7 +60,8 @@ func main() {
 		return
 	}
 	opt := experiments.Options{Seed: *seed, MaxWindows: *windows, Quick: *quick,
-		Workers: *workers, NoCodeCache: !*codeCache, Metrics: metricsFl.Registry()}
+		Workers: *workers, NoCodeCache: !*codeCache, SnapshotDir: *snapDir,
+		Metrics: metricsFl.Registry()}
 
 	var ids []string
 	switch {

@@ -46,6 +46,7 @@ func main() {
 		batchWin  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window (negative disables)")
 		grace     = flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
 		workers   = cli.AddWorkers(flag.CommandLine)
+		snapDir   = cli.AddSnapshotDir(flag.CommandLine)
 		metricsFl = cli.AddMetrics(flag.CommandLine)
 	)
 	flag.Parse()
@@ -57,6 +58,7 @@ func main() {
 		BatchWindow: *batchWin,
 		Workers:     *workers,
 		Metrics:     reg,
+		SnapshotDir: *snapDir,
 	})
 	httpSrv := &http.Server{Handler: srv}
 

@@ -41,6 +41,7 @@ func main() {
 		windows   = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		workers   = cli.AddWorkers(flag.CommandLine)
+		snapDir   = cli.AddSnapshotDir(flag.CommandLine)
 		progress  = flag.Bool("progress", false, "report per-layer progress to stderr")
 		codeCache = cli.AddCodeCache(flag.CommandLine)
 		layers    = flag.Bool("layers", false, "print per-layer results")
@@ -73,7 +74,7 @@ func main() {
 	style, err := sre.ParsePruneStyle(*pruneStr)
 	fatal(err)
 
-	net, err := sre.Load(*network,
+	loadOpts := []sre.Option{
 		sre.WithPrune(style),
 		sre.WithOU(*ou),
 		sre.WithCrossbar(*xbar),
@@ -82,7 +83,11 @@ func main() {
 		sre.WithMaxWindows(*windows),
 		sre.WithSeed(*seed),
 		sre.WithWorkers(*workers),
-	)
+	}
+	if *snapDir != "" {
+		loadOpts = append(loadOpts, sre.WithSnapshotDir(*snapDir))
+	}
+	net, err := sre.Load(*network, loadOpts...)
 	fatal(err)
 
 	runOpts := []sre.Option{sre.WithCodeCache(*codeCache)}

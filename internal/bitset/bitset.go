@@ -26,6 +26,21 @@ func New(n int) *Set {
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// FromWords returns a Set of n bits adopting words as its backing
+// storage without copying — the zero-copy path snapshot decoding uses
+// to carve many group masks out of one contiguous word plane. The
+// caller must hand over exactly Words64(n) words, keep them alive, and
+// treat the set as read-only wherever the backing slice is shared.
+func FromWords(n int, words []uint64) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	if len(words) != Words64(n) {
+		panic("bitset: FromWords backing length mismatch")
+	}
+	return &Set{n: n, words: words}
+}
+
 // Len returns the capacity in bits.
 func (s *Set) Len() int { return s.n }
 

@@ -25,6 +25,12 @@ func AddCodeCache(fs *flag.FlagSet) *bool {
 	return fs.Bool("codecache", true, "share one window-code materialization per layer across modes")
 }
 
+// AddSnapshotDir registers the shared -snapshot-dir flag on fs.
+func AddSnapshotDir(fs *flag.FlagSet) *string {
+	return fs.String("snapshot-dir", "",
+		"consult (and populate) this directory of built-network snapshots instead of always building")
+}
+
 // MetricsFlags is the parsed -metrics/-metrics-format pair.
 type MetricsFlags struct {
 	Path   string

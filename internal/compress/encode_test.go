@@ -1,0 +1,169 @@
+package compress
+
+import (
+	"testing"
+
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/xrand"
+)
+
+// randomStructure builds a randomized sparse layer for roundtrip tests.
+func randomStructure(r *xrand.RNG) (*Structure, *CodeSource, quant.Params, mapping.Geometry) {
+	p := quant.Params{WBits: 8, ABits: 8, CellBits: 2, DACBits: 1}
+	rows := 1 + r.Intn(90)
+	cols := 1 + r.Intn(10)
+	codes := &CodeSource{Rows: rows, Cols: cols, Codes: make([]uint32, rows*cols)}
+	for i := range codes.Codes {
+		if !r.Bernoulli(0.6) {
+			codes.Codes[i] = uint32(r.Intn(1 << uint(p.WBits)))
+		}
+	}
+	g := mapping.Geometry{
+		XbarRows: 8 + r.Intn(40),
+		XbarCols: 4 * (1 + r.Intn(8)),
+		SWL:      1 + r.Intn(8),
+	}
+	g.SBL = 1 + r.Intn(g.XbarCols)
+	return Build(codes, p, g), codes, p, g
+}
+
+// TestStructurePlaneRoundTrip proves AppendPlanes →
+// NewStructureFromPlanes reproduces a structure exactly: every group
+// bitset, the compression accounting of every scheme, and the derived
+// ORC plan set all match the original bit for bit.
+func TestStructurePlaneRoundTrip(t *testing.T) {
+	r := xrand.New(7)
+	for trial := 0; trial < 10; trial++ {
+		s, _, p, g := randomStructure(r)
+		planes := s.AppendPlanes(make([]uint64, 0, s.PlaneWords()))
+		if len(planes) != s.PlaneWords() {
+			t.Fatalf("trial %d: AppendPlanes wrote %d words, PlaneWords says %d",
+				trial, len(planes), s.PlaneWords())
+		}
+		back, err := NewStructureFromPlanes(s.Layout.Rows, s.Layout.LogicalCols, p, g, planes, s.NonZeroCells())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lay := s.Layout
+		if back.Layout != lay {
+			t.Fatalf("trial %d: layout diverged", trial)
+		}
+		for rb := 0; rb < lay.RowBlocks; rb++ {
+			for cb := 0; cb < lay.ColBlocks; cb++ {
+				for gi := 0; gi < lay.GroupsInTile(cb); gi++ {
+					a := s.GroupNonZeroRows(rb, cb, gi)
+					b := back.GroupNonZeroRows(rb, cb, gi)
+					if a.Count() != b.Count() {
+						t.Fatalf("trial %d (%d,%d,%d): group count %d vs %d",
+							trial, rb, cb, gi, a.Count(), b.Count())
+					}
+					for row := 0; row < lay.TileRows(rb); row++ {
+						if a.Test(row) != b.Test(row) {
+							t.Fatalf("trial %d (%d,%d,%d): row %d differs", trial, rb, cb, gi, row)
+						}
+					}
+				}
+			}
+		}
+		for _, sc := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+			if s.CompressedCells(sc, 5) != back.CompressedCells(sc, 5) ||
+				s.IndexStorageBits(sc, 5) != back.IndexStorageBits(sc, 5) {
+				t.Fatalf("trial %d: scheme %v accounting diverged", trial, sc)
+			}
+		}
+		comparePlanSets(t, s.PlanSet(ORC, 5), back.PlanSet(ORC, 5), s.Layout)
+	}
+}
+
+// comparePlanSets checks two plan sets describe identical execution
+// state (treating nil and empty row slices as equal).
+func comparePlanSets(t *testing.T, a, b *PlanSet, lay mapping.Layout) {
+	t.Helper()
+	if len(a.Tiles) != len(b.Tiles) {
+		t.Fatalf("tile row count %d vs %d", len(a.Tiles), len(b.Tiles))
+	}
+	for rb := range a.Tiles {
+		for cb := range a.Tiles[rb] {
+			ta, tb := &a.Tiles[rb][cb], &b.Tiles[rb][cb]
+			if ta.AllRows != tb.AllRows || ta.Words != tb.Words || ta.Groups != tb.Groups ||
+				ta.RowCount != tb.RowCount || ta.OUs != tb.OUs {
+				t.Fatalf("tile (%d,%d) scalars diverged:\n %+v\n %+v", rb, cb, ta, tb)
+			}
+			if ta.AllRows {
+				if ta.TileRows != tb.TileRows {
+					t.Fatalf("tile (%d,%d) TileRows %d vs %d", rb, cb, ta.TileRows, tb.TileRows)
+				}
+				continue
+			}
+			if len(ta.GroupRows) != len(tb.GroupRows) {
+				t.Fatalf("tile (%d,%d) group count %d vs %d", rb, cb, len(ta.GroupRows), len(tb.GroupRows))
+			}
+			for gi := range ta.GroupRows {
+				ra, rbk := ta.GroupRows[gi], tb.GroupRows[gi]
+				if len(ra) != len(rbk) {
+					t.Fatalf("tile (%d,%d) group %d rows %v vs %v", rb, cb, gi, ra, rbk)
+				}
+				for i := range ra {
+					if ra[i] != rbk[i] {
+						t.Fatalf("tile (%d,%d) group %d row %d: %d vs %d", rb, cb, gi, i, ra[i], rbk[i])
+					}
+				}
+			}
+			if len(ta.Plane) != len(tb.Plane) {
+				t.Fatalf("tile (%d,%d) plane length %d vs %d", rb, cb, len(ta.Plane), len(tb.Plane))
+			}
+			for i := range ta.Plane {
+				if ta.Plane[i] != tb.Plane[i] {
+					t.Fatalf("tile (%d,%d) plane word %d differs", rb, cb, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanSetWireRoundTrip proves AppendPlanSet → DecodePlanSet is
+// exact across schemes with and without index-encoding fillers, and
+// that decoding rejects truncated and oversized inputs.
+func TestPlanSetWireRoundTrip(t *testing.T) {
+	r := xrand.New(11)
+	for trial := 0; trial < 10; trial++ {
+		s, _, _, _ := randomStructure(r)
+		for _, sc := range []Scheme{Baseline, Naive, ORC} {
+			for _, idx := range []int{0, 3, 5} {
+				ps := s.PlanSet(sc, idx)
+				wire := AppendPlanSet(nil, ps)
+				back, err := DecodePlanSet(wire, s.Layout)
+				if err != nil {
+					t.Fatalf("trial %d %v/%d: %v", trial, sc, idx, err)
+				}
+				comparePlanSets(t, ps, back, s.Layout)
+				if _, err := DecodePlanSet(wire[:len(wire)-1], s.Layout); err == nil {
+					t.Fatalf("trial %d: truncated plan set decoded", trial)
+				}
+				if _, err := DecodePlanSet(append(wire[:len(wire):len(wire)], 0), s.Layout); err == nil {
+					t.Fatalf("trial %d: trailing byte accepted", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedPlanSetWins proves a seeded plan set is what the cache
+// serves, and that seeding after a build is a harmless no-op.
+func TestSeedPlanSetWins(t *testing.T) {
+	r := xrand.New(23)
+	s, _, _, _ := randomStructure(r)
+	donor, _, _, _ := randomStructure(xrand.New(23)) // same RNG stream → identical layer
+	ps := donor.PlanSet(ORC, 5)
+	s.SeedPlanSet(ORC, 5, ps)
+	if got := s.PlanSet(ORC, 5); got != ps {
+		t.Fatal("cache did not serve the seeded plan set")
+	}
+	// Seeding an occupied key must not replace it.
+	other := donor.PlanSet(ORC, 3)
+	s.SeedPlanSet(ORC, 5, other)
+	if got := s.PlanSet(ORC, 5); got != ps {
+		t.Fatal("second seed displaced the first")
+	}
+}

@@ -49,6 +49,49 @@ type codeCacheMetrics struct {
 	hits, misses, builds, bytes *metrics.Counter
 }
 
+// SampledWindows returns how many of a layer's windows a run with the
+// given cap actually simulates — the deterministic sampling rule shared
+// by the simulator and snapshot serialization (which persists the code
+// plane for exactly this count).
+func SampledWindows(windows, maxWindows int) int {
+	if maxWindows > 0 && windows > maxWindows {
+		return maxWindows
+	}
+	return windows
+}
+
+// Materialize returns the layer's [sampled][rows] code plane, building
+// and caching it like a simulation run would (nil when the plane would
+// exceed the cache's size bound). Snapshot writing uses it to persist
+// the plane a loaded network's first run will want.
+func (c *CodePlanes) Materialize(src ActivationSource, rows, sampled, windows int) []uint32 {
+	return c.plane(src, rows, sampled, windows, codeCacheMetrics{})
+}
+
+// Seed installs a pre-materialized code plane for the given sampled
+// count — the snapshot-load path. The plane must be window-major
+// [sampled][rows] as Materialize produces; seeding an already-present
+// count is a no-op (first installation wins, matching the cache's
+// build-once semantics). An out-of-bound plane is ignored, mirroring
+// what plane() would have refused to cache.
+func (c *CodePlanes) Seed(sampled, rows int, plane []uint32) {
+	if sampled <= 0 || rows <= 0 || len(plane) != sampled*rows ||
+		int64(rows)*int64(sampled) > maxCachedPlaneElems {
+		return
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[int]*codePlaneEntry)
+	}
+	e := c.entries[sampled]
+	if e == nil {
+		e = &codePlaneEntry{}
+		c.entries[sampled] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.plane = plane })
+}
+
 // plane returns the cached [sampled][rows] code plane, building it on
 // first use by reading every sampled window from src once (through a
 // worker-private clone, so a shared source's scratch state is not

@@ -543,10 +543,7 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	msh := cfg.Metrics.Shard()
 
 	windows := l.Acts.Windows()
-	sampled := windows
-	if cfg.MaxWindows > 0 && sampled > cfg.MaxWindows {
-		sampled = cfg.MaxWindows
-	}
+	sampled := SampledWindows(windows, cfg.MaxWindows)
 	scale := float64(windows) / float64(sampled)
 
 	reorders := cfg.Mode.Scheme != compress.Baseline

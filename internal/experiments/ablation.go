@@ -28,7 +28,7 @@ func AblationIndexBits(opt Options) (*Table, error) {
 		widths = []int{2, 5}
 	}
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -79,7 +79,7 @@ func AblationOCC(opt Options) (*Table, error) {
 			"input idx (KB)", "output idx (KB)"}}
 	p, g := quant.Default(), mapping.Default()
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +140,7 @@ func AblationBuffer(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := build(spec, workload.SSL, p, g, opt.Seed)
+	b, err := build(spec, workload.SSL, p, g, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +190,7 @@ func AblationReplication(opt Options) (*Table, error) {
 	p, g := quant.Default(), mapping.Default()
 	ch := chip.Default()
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,7 @@ import (
 	"sre/internal/metrics"
 	"sre/internal/parallel"
 	"sre/internal/quant"
+	"sre/internal/snapshot"
 	"sre/internal/workload"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// Metrics, when non-nil, collects run observability across every
 	// simulation an experiment performs (see internal/metrics).
 	Metrics *metrics.Registry
+	// SnapshotDir, when non-empty, consults (and populates) a
+	// built-network snapshot directory before building, so repeated
+	// srebench invocations skip workload synthesis entirely.
+	SnapshotDir string
 }
 
 // DefaultOptions runs every experiment at full scope.
@@ -190,16 +195,24 @@ var (
 	builtCache = map[builtKey]*workload.Built{}
 )
 
-// build returns a cached simulator-ready network.
-func build(spec workload.Spec, mode workload.PruneMode, p quant.Params, g mapping.Geometry, seed uint64) (*workload.Built, error) {
-	key := builtKey{spec.Name, mode, p, g, seed}
+// build returns a cached simulator-ready network, consulting the
+// snapshot directory (when opt names one) before paying for a build.
+func build(spec workload.Spec, mode workload.PruneMode, p quant.Params, g mapping.Geometry, opt Options) (*workload.Built, error) {
+	key := builtKey{spec.Name, mode, p, g, opt.Seed}
 	builtMu.Lock()
 	b, ok := builtCache[key]
 	builtMu.Unlock()
 	if ok {
 		return b, nil
 	}
-	b, err := spec.Build(mode, p, g, seed)
+	var err error
+	if opt.SnapshotDir != "" {
+		b, _, err = snapshot.LoadOrBuild(opt.SnapshotDir,
+			snapshot.Key{Spec: spec, Prune: mode, Quant: p, Geom: g, Seed: opt.Seed},
+			snapshot.WriteOptions{MaxWindows: opt.maxWindows(), IndexBits: spec.IndexBits})
+	} else {
+		b, err = spec.Build(mode, p, g, opt.Seed)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ func Fig17(opt Options) (*Table, error) {
 	p, g := quant.Default(), mapping.Default()
 	var orcdof []float64
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +56,7 @@ func Fig18(opt Options) (*Table, error) {
 	p, g := quant.Default(), mapping.Default()
 	var savings []float64
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +102,7 @@ func Fig21(opt Options) (*Table, error) {
 		vals := make([]pair, 0, len(sizes))
 		for _, ou := range sizes {
 			g := mapping.Default().WithOU(ou)
-			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			b, err := build(spec, workload.SSL, p, g, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -134,7 +134,7 @@ func Fig22(opt Options) (*Table, error) {
 	for _, spec := range specsFor(opt) {
 		for _, cb := range bpcs {
 			p := quant.Params{WBits: 16, ABits: 16, CellBits: cb, DACBits: 1}
-			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			b, err := build(spec, workload.SSL, p, g, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -173,7 +173,7 @@ func Fig23(opt Options) (*Table, error) {
 	}
 	var orcdof, savings []float64
 	for _, spec := range specs {
-		b, err := build(spec, workload.GSL, p, g, opt.Seed)
+		b, err := build(spec, workload.GSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func Fig24(opt Options) (*Table, error) {
 	p, g := quant.Default(), mapping.Default()
 	var times, energies []float64
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -29,7 +29,7 @@ func Table2(opt Options) (*Table, error) {
 			"Act.sparsity(paper)", "MatrixLayers", "Weights", "Topology"}}
 	p, g := quant.Default(), mapping.Default()
 	for _, spec := range specsFor(opt) {
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +69,7 @@ func Fig4(opt Options) (*Table, error) {
 	// cells = IdealCells / TotalCells.
 	for _, cb := range []int{1, 2, 4, 8} {
 		p := quant.Params{WBits: 16, ABits: 16, CellBits: cb, DACBits: 1}
-		b, err := build(spec, workload.SSL, p, g, opt.Seed)
+		b, err := build(spec, workload.SSL, p, g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +83,7 @@ func Fig4(opt Options) (*Table, error) {
 	// Input density vs DAC resolution (Fig. 4b) over sampled activations.
 	for _, dac := range []int{1, 2, 4, 8} {
 		p := quant.Params{WBits: 16, ABits: 16, CellBits: 2, DACBits: dac}
-		b, err := build(spec, workload.SSL, quant.Default(), g, opt.Seed)
+		b, err := build(spec, workload.SSL, quant.Default(), g, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +111,7 @@ func Fig19(opt Options) (*Table, error) {
 	for _, spec := range specsFor(opt) {
 		for _, ou := range sizes {
 			g := mapping.Default().WithOU(ou)
-			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			b, err := build(spec, workload.SSL, p, g, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +150,7 @@ func Fig20(opt Options) (*Table, error) {
 	for _, spec := range specsFor(opt) {
 		for si, ou := range sizes {
 			g := mapping.Default().WithOU(ou)
-			b, err := build(spec, workload.SSL, p, g, opt.Seed)
+			b, err := build(spec, workload.SSL, p, g, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +202,7 @@ func Overhead(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := build(spec, workload.SSL, quant.Default(), mapping.Default(), opt.Seed)
+	b, err := build(spec, workload.SSL, quant.Default(), mapping.Default(), opt)
 	if err != nil {
 		return nil, err
 	}

@@ -36,10 +36,10 @@ func TestCounterGaugeHistogramMerge(t *testing.T) {
 	bounds := []int64{1, 2, 4, 8, 16}
 	ha := a.Histogram("occ", bounds)
 	hb := b.Histogram("occ", bounds)
-	ha.Observe(1)        // bucket le=1
-	ha.ObserveN(16, 3)   // bucket le=16, three observations
-	hb.Observe(5)        // bucket le=8
-	hb.Observe(100)      // overflow bucket
+	ha.Observe(1)      // bucket le=1
+	ha.ObserveN(16, 3) // bucket le=16, three observations
+	hb.Observe(5)      // bucket le=8
+	hb.Observe(100)    // overflow bucket
 	snap := r.Snapshot()
 	if got := snap.Counters["ops"]; got != 12 {
 		t.Fatalf("ops = %d, want 12", got)

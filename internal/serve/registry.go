@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"sre"
+	"sre/internal/metrics"
 )
 
 // Key identifies one resident network: the build-scoped part of a
@@ -75,6 +76,10 @@ type Registry struct {
 	mu      sync.Mutex
 	entries map[Key]*regEntry
 	builds  atomic.Int64
+
+	snapshotDir    string
+	snapshotHits   *metrics.Counter // cold keys satisfied from the snapshot dir
+	snapshotMisses *metrics.Counter // cold keys that had to build (then persisted)
 }
 
 type regEntry struct {
@@ -103,8 +108,18 @@ func (r *Registry) Get(ctx context.Context, key Key) (*sre.Network, error) {
 		r.entries[key] = e
 		r.mu.Unlock()
 		r.builds.Add(1)
-		e.net, e.err = sre.Load(key.Network,
-			sre.WithConfig(key.Config()), sre.WithPrune(key.Prune))
+		opts := []sre.Option{sre.WithConfig(key.Config()), sre.WithPrune(key.Prune)}
+		if r.snapshotDir != "" {
+			opts = append(opts, sre.WithSnapshotDir(r.snapshotDir))
+		}
+		e.net, e.err = sre.Load(key.Network, opts...)
+		if r.snapshotDir != "" && e.err == nil {
+			if e.net.SnapshotLoaded() {
+				r.snapshotHits.Inc()
+			} else {
+				r.snapshotMisses.Inc()
+			}
+		}
 		if e.err != nil {
 			r.mu.Lock()
 			delete(r.entries, key)
@@ -120,6 +135,18 @@ func (r *Registry) Get(ctx context.Context, key Key) (*sre.Network, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// UseSnapshots makes cold keys consult (and populate) a snapshot
+// directory instead of always building, still under the same
+// singleflight — however many requests race for a cold key, the
+// directory is consulted exactly once. hits counts cold keys loaded
+// from dir, misses cold keys that built fresh; both are nil-safe.
+// Call before serving begins (it is not synchronized against Get).
+func (r *Registry) UseSnapshots(dir string, hits, misses *metrics.Counter) {
+	r.snapshotDir = dir
+	r.snapshotHits = hits
+	r.snapshotMisses = misses
 }
 
 // Builds returns how many network builds the registry has started —

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sre"
+	"sre/internal/metrics"
 )
 
 func TestRegistrySingleflight(t *testing.T) {
@@ -93,5 +94,60 @@ func TestRegistryAbandonedWaiter(t *testing.T) {
 	}
 	if got := r.Builds(); got > 2 {
 		t.Fatalf("Builds() = %d, want at most 2", got)
+	}
+}
+
+// TestRegistrySnapshots proves the snapshot-dir path: a registry with
+// UseSnapshots persists on the first cold key, a fresh registry
+// sharing the directory loads instead of rebuilding, and the hit/miss
+// counters record exactly that — all still under singleflight.
+func TestRegistrySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	shard := reg.Shard()
+	hits := shard.Counter("hits")
+	misses := shard.Counter("misses")
+	key := KeyFor("MNIST", sre.SSL, sre.DefaultConfig())
+
+	r1 := NewRegistry()
+	r1.UseSnapshots(dir, hits, misses)
+	n1, err := r1.Get(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.SnapshotLoaded() {
+		t.Fatal("cold empty-dir Get reported a snapshot hit")
+	}
+
+	// A second process sharing the directory: must load, not build.
+	r2 := NewRegistry()
+	r2.UseSnapshots(dir, hits, misses)
+	const callers = 8
+	nets := make([]*sre.Network, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := r2.Get(context.Background(), key)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			nets[i] = n
+		}(i)
+	}
+	wg.Wait()
+	if !nets[0].SnapshotLoaded() {
+		t.Fatal("warm-dir Get did not load from the snapshot")
+	}
+	if got := r2.Builds(); got != 1 {
+		t.Fatalf("snapshot dir broke singleflight: %d loads", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["hits"]; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if got := snap.Counters["misses"]; got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
 	}
 }

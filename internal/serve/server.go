@@ -45,6 +45,11 @@ type Options struct {
 	// sweep's simulator metrics; /metrics serves it. NewServer creates
 	// one when nil.
 	Metrics *metrics.Registry
+	// SnapshotDir, when non-empty, makes cold registry keys consult
+	// (and populate) a network-snapshot directory before building, so
+	// restarts and replicas sharing the directory start warm.
+	// sre_serve_snapshot_{hits,misses}_total count the outcomes.
+	SnapshotDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +108,11 @@ func NewServer(opts Options) *Server {
 		rejected: shard.Counter("sre_serve_rejected_total"),
 		timeouts: shard.Counter("sre_serve_timeouts_total"),
 		inflight: shard.Gauge("sre_serve_inflight_requests"),
+	}
+	if opts.SnapshotDir != "" {
+		s.registry.UseSnapshots(opts.SnapshotDir,
+			shard.Counter("sre_serve_snapshot_hits_total"),
+			shard.Counter("sre_serve_snapshot_misses_total"))
 	}
 	s.batcher = NewBatcher(s.registry, NewBudget(opts.MaxSweeps), window,
 		opts.Workers, base, shard, sre.WithMetrics(opts.Metrics))

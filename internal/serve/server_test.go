@@ -141,8 +141,8 @@ func TestSimulateRequestValidation(t *testing.T) {
 		want int
 	}{
 		{`{"network":"NoSuchNet","mode":"orc"}`, http.StatusNotFound},
-		{`{"network":"MNIST"}`, http.StatusBadRequest},                           // no modes
-		{`{"network":"MNIST","mode":"warp-drive"}`, http.StatusBadRequest},       // bad mode
+		{`{"network":"MNIST"}`, http.StatusBadRequest},                            // no modes
+		{`{"network":"MNIST","mode":"warp-drive"}`, http.StatusBadRequest},        // bad mode
 		{`{"network":"MNIST","mode":"orc","prune":"zap"}`, http.StatusBadRequest}, // bad prune
 		{`{"network":"MNIST","mode":"orc","config":{"crossbar":-4}}`, http.StatusBadRequest},
 		{`not json`, http.StatusBadRequest},

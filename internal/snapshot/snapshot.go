@@ -1,0 +1,534 @@
+// Package snapshot persists built networks: everything workload.Build
+// produces — prune-derived compression structures (as contiguous
+// little-endian word planes), per-layer ORC plan sets, window-code
+// planes, activation-source parameters, and layer stats — in one
+// versioned binary artifact that loads in a single read. It is the
+// serializable representation behind sre.(*Network).WriteTo and
+// sre.OpenSnapshot, and the build cache behind sre.WithSnapshotDir.
+//
+// File layout (all integers little-endian):
+//
+//	[ 0, 8)  magic "SRESNAP\x00"
+//	[ 8,12)  u32 format version (currently 1)
+//	[12,16)  u32 meta length in bytes
+//	[16,24)  u64 payload length in bytes
+//	[24,32)  u64 CRC-64/ECMA of the meta JSON
+//	[32,40)  u64 CRC-64/ECMA of the payload
+//	[40,72)  sha-256 content hash of the build inputs (Key.Hash)
+//	[72,  )  meta JSON, then payload
+//
+// The content hash covers the format version and every build input
+// (network spec, prune mode, quantization, geometry, seed) and nothing
+// derived, so it is computable before building — that is what lets a
+// snapshot directory be consulted by hash prior to paying for a build,
+// and shared across replicas and CI. The payload is the concatenation,
+// layer by layer, of the structure word plane ([]u64), an optional ORC
+// plan-set section, and an optional window-code plane ([]u32); each
+// section's size is recorded in the meta, so decoding is pure slicing
+// and the group bitsets adopt sub-slices of one backing array without
+// copying.
+//
+// Decoding fails loudly: a bad magic, an unsupported version, a length
+// or checksum that does not line up, or a meta whose recomputed content
+// hash differs from the header's all return named errors (ErrBadMagic,
+// ErrVersion, ErrCorrupt, ErrHashMismatch) — never a silently rebuilt
+// or partially loaded network.
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sre/internal/compress"
+	"sre/internal/core"
+	"sre/internal/mapping"
+	"sre/internal/quant"
+	"sre/internal/workload"
+
+	"crypto/sha256"
+)
+
+// FormatVersion is the current snapshot format version. Bump it on any
+// incompatible layout change; it participates in the content hash, so
+// old snapshots are never matched by hash, and OpenSnapshot rejects
+// them with ErrVersion rather than misreading them.
+const FormatVersion = 1
+
+const (
+	magic      = "SRESNAP\x00"
+	headerSize = 72
+
+	// maxMetaBytes bounds the meta section a header may claim, keeping
+	// hostile or corrupt headers from driving huge allocations.
+	maxMetaBytes = 64 << 20
+	// maxPlanSectionBytes bounds one layer's persisted plan set; a layer
+	// whose ORC plans encode larger (dense weights on huge tilings) just
+	// rebuilds them lazily after load instead.
+	maxPlanSectionBytes = 16 << 20
+)
+
+// Named decode failures, matchable with errors.Is.
+var (
+	ErrBadMagic     = errors.New("snapshot: not a snapshot file (bad magic)")
+	ErrVersion      = errors.New("snapshot: unsupported format version")
+	ErrCorrupt      = errors.New("snapshot: corrupt snapshot")
+	ErrHashMismatch = errors.New("snapshot: content hash mismatch")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Key is the complete set of build inputs one artifact stands for. Two
+// builds with equal Keys produce bit-identical networks (builds are
+// deterministic), which is what makes the content hash a safe cache
+// key.
+type Key struct {
+	Spec  workload.Spec
+	Prune workload.PruneMode
+	Quant quant.Params
+	Geom  mapping.Geometry
+	Seed  uint64
+}
+
+// Hash returns the sha-256 content hash of the key: a canonical binary
+// serialization of the format version and every build input, stable
+// across runs, platforms, and field ordering.
+func (k Key) Hash() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int) { wu(uint64(int64(v))) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+	ws := func(s string) {
+		wi(len(s))
+		io.WriteString(h, s)
+	}
+	wu(FormatVersion)
+	ws(k.Spec.Name)
+	ws(k.Spec.Display)
+	ws(k.Spec.Topology)
+	wi(len(k.Spec.Input))
+	for _, d := range k.Spec.Input {
+		wi(d)
+	}
+	wf(k.Spec.WeightSparsity)
+	wf(k.Spec.ActSparsity)
+	wf(k.Spec.ConvSparsity)
+	wf(k.Spec.FCSparsity)
+	wf(k.Spec.RowFrac)
+	wf(k.Spec.ColFrac)
+	wf(k.Spec.SegFrac)
+	wf(k.Spec.TileSegFrac)
+	wf(k.Spec.ActOctaves)
+	wf(k.Spec.ActChanOctaves)
+	wi(k.Spec.IndexBits)
+	wf(k.Spec.GSLConv)
+	wf(k.Spec.GSLFC)
+	if k.Spec.Large {
+		wi(1)
+	} else {
+		wi(0)
+	}
+	wi(int(k.Prune))
+	wi(k.Quant.WBits)
+	wi(k.Quant.ABits)
+	wi(k.Quant.CellBits)
+	wi(k.Quant.DACBits)
+	wi(k.Geom.XbarRows)
+	wi(k.Geom.XbarCols)
+	wi(k.Geom.SWL)
+	wi(k.Geom.SBL)
+	wu(k.Seed)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// HashHex returns the content hash as lowercase hex.
+func (k Key) HashHex() string {
+	h := k.Hash()
+	return hex.EncodeToString(h[:])
+}
+
+// FileName returns the canonical file name a snapshot directory stores
+// this key under.
+func (k Key) FileName() string { return k.HashHex() + ".sresnap" }
+
+// WriteOptions tune which derived sections a written snapshot carries.
+// Both sections are warm-start accelerators: omitting them (or asking
+// for widths/caps that later runs don't use) costs nothing but a lazy
+// rebuild, never correctness.
+type WriteOptions struct {
+	// MaxWindows is the per-layer window sampling cap whose code plane
+	// is persisted (0 = all windows), normally the writer's build-config
+	// value.
+	MaxWindows int
+	// IndexBits is the input-index width the persisted ORC plan sets use
+	// (0 = the spec's Table 2 value) — the effective width sre resolves.
+	IndexBits int
+}
+
+// fileMeta is the JSON meta section.
+type fileMeta struct {
+	FormatVersion int
+	Key           keyMeta
+	PlanIndexBits int // index width of the persisted plan sections
+	Layers        []layerMeta
+}
+
+type keyMeta struct {
+	Spec  workload.Spec
+	Prune int
+	Quant quant.Params
+	Geom  mapping.Geometry
+	Seed  uint64
+}
+
+func (m keyMeta) key() Key {
+	return Key{Spec: m.Spec, Prune: workload.PruneMode(m.Prune),
+		Quant: m.Quant, Geom: m.Geom, Seed: m.Seed}
+}
+
+// layerMeta describes one layer's identity and payload sections.
+type layerMeta struct {
+	Name          string
+	Rows, Cols    int // logical weight-matrix dims (the layout rebuilds from these)
+	OutputBits    int64
+	ParallelGroup string
+	NonZeroCells  int64
+	Stats         workload.LayerStats
+	Acts          actsMeta
+	PlaneWords    int // structure word-plane length (u64 words)
+	PlanBytes     int // ORC plan-set section length (0 = absent)
+	CodeSampled   int // code-plane sampled-window count (0 = absent)
+}
+
+// actsMeta mirrors workload.SyntheticActs field for field.
+type actsMeta struct {
+	Rows, NWindows                 int
+	Sparsity, Octaves, ChanOctaves float64
+	RowsPerChan, ABits             int
+	Seed                           uint64
+}
+
+// Write serializes the built network b (built from inputs k) to w and
+// returns the byte count written. Only networks whose activation
+// sources are workload.SyntheticActs serialize; anything else returns
+// an error naming the layer.
+func Write(w io.Writer, k Key, b *workload.Built, o WriteOptions) (int64, error) {
+	meta, payload, err := encodeBody(k, b, o)
+	if err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(meta)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[24:], crc64.Checksum(meta, crcTable))
+	binary.LittleEndian.PutUint64(hdr[32:], crc64.Checksum(payload, crcTable))
+	hash := k.Hash()
+	copy(hdr[40:], hash[:])
+	var n int64
+	for _, part := range [][]byte{hdr, meta, payload} {
+		m, err := w.Write(part)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func encodeBody(k Key, b *workload.Built, o WriteOptions) (meta, payload []byte, err error) {
+	effIdx := o.IndexBits
+	if effIdx <= 0 {
+		effIdx = k.Spec.IndexBits
+	}
+	fm := fileMeta{
+		FormatVersion: FormatVersion,
+		Key: keyMeta{Spec: k.Spec, Prune: int(k.Prune), Quant: k.Quant,
+			Geom: k.Geom, Seed: k.Seed},
+		PlanIndexBits: effIdx,
+	}
+	if len(b.Stats) != len(b.Layers) {
+		return nil, nil, fmt.Errorf("snapshot: %d layers but %d stats entries", len(b.Layers), len(b.Stats))
+	}
+	var word [8]byte
+	for i := range b.Layers {
+		l := &b.Layers[i]
+		sa, ok := l.Acts.(*workload.SyntheticActs)
+		if !ok {
+			return nil, nil, fmt.Errorf("snapshot: layer %s: activation source %T is not serializable", l.Name, l.Acts)
+		}
+		st := l.Struct
+		lm := layerMeta{
+			Name:          l.Name,
+			Rows:          st.Layout.Rows,
+			Cols:          st.Layout.LogicalCols,
+			OutputBits:    l.OutputBits,
+			ParallelGroup: l.ParallelGroup,
+			NonZeroCells:  st.NonZeroCells(),
+			Stats:         b.Stats[i],
+			Acts: actsMeta{Rows: sa.Rows, NWindows: sa.NWindows,
+				Sparsity: sa.Sparsity, Octaves: sa.Octaves, ChanOctaves: sa.ChanOctaves,
+				RowsPerChan: sa.RowsPerChan, ABits: sa.ABits, Seed: sa.Seed},
+			PlaneWords: st.PlaneWords(),
+		}
+		// Structure word plane, contiguous little-endian.
+		planes := st.AppendPlanes(make([]uint64, 0, lm.PlaneWords))
+		for _, wd := range planes {
+			binary.LittleEndian.PutUint64(word[:], wd)
+			payload = append(payload, word[:]...)
+		}
+		// ORC plan set — the expensive-to-derive section. Skipped when the
+		// geometry outgrows the u16 row encoding or the section the bound.
+		if st.Layout.XbarRows <= 0xFFFF {
+			pb := compress.AppendPlanSet(nil, st.PlanSet(compress.ORC, effIdx))
+			if len(pb) <= maxPlanSectionBytes {
+				lm.PlanBytes = len(pb)
+				payload = append(payload, pb...)
+			}
+		}
+		// Window-code plane for the writer's sampling cap (nil when the
+		// plane exceeds the code cache's size bound — then it stays lazy
+		// after load too).
+		if l.Codes != nil {
+			windows := sa.Windows()
+			sampled := core.SampledWindows(windows, o.MaxWindows)
+			if plane := l.Codes.Materialize(sa, sa.Rows, sampled, windows); plane != nil {
+				lm.CodeSampled = sampled
+				var quad [4]byte
+				for _, c := range plane {
+					binary.LittleEndian.PutUint32(quad[:], c)
+					payload = append(payload, quad[:]...)
+				}
+			}
+		}
+		fm.Layers = append(fm.Layers, lm)
+	}
+	meta, err = json.Marshal(fm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return meta, payload, nil
+}
+
+// header is the decoded fixed-size prologue.
+type header struct {
+	version    uint32
+	metaLen    uint32
+	payloadLen uint64
+	metaCRC    uint64
+	payloadCRC uint64
+	hash       [32]byte
+}
+
+// decodeHeader validates the fixed-size prologue. It is the fuzzed
+// entry point: any input must yield a named error or a structurally
+// sane header, never a panic.
+func decodeHeader(data []byte) (header, error) {
+	var h header
+	if len(data) < headerSize {
+		return h, fmt.Errorf("%w: %d-byte file is shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return h, ErrBadMagic
+	}
+	h.version = binary.LittleEndian.Uint32(data[8:])
+	if h.version != FormatVersion {
+		return h, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, h.version, FormatVersion)
+	}
+	h.metaLen = binary.LittleEndian.Uint32(data[12:])
+	h.payloadLen = binary.LittleEndian.Uint64(data[16:])
+	h.metaCRC = binary.LittleEndian.Uint64(data[24:])
+	h.payloadCRC = binary.LittleEndian.Uint64(data[32:])
+	copy(h.hash[:], data[40:72])
+	if h.metaLen > maxMetaBytes {
+		return h, fmt.Errorf("%w: meta length %d exceeds the %d-byte bound", ErrCorrupt, h.metaLen, maxMetaBytes)
+	}
+	want := uint64(headerSize) + uint64(h.metaLen) + h.payloadLen
+	if uint64(len(data)) != want {
+		return h, fmt.Errorf("%w: file is %d bytes, header promises %d", ErrCorrupt, len(data), want)
+	}
+	return h, nil
+}
+
+// Decode reconstructs a built network from a complete snapshot image.
+// The returned Built shares backing memory with data (the structure
+// bitsets adopt sub-slices of one decoded plane), which is what keeps
+// loading a single read plus one word-conversion pass.
+func Decode(data []byte) (Key, *workload.Built, error) {
+	var zero Key
+	h, err := decodeHeader(data)
+	if err != nil {
+		return zero, nil, err
+	}
+	meta := data[headerSize : headerSize+int(h.metaLen)]
+	payload := data[headerSize+int(h.metaLen):]
+	if crc64.Checksum(meta, crcTable) != h.metaCRC {
+		return zero, nil, fmt.Errorf("%w: meta checksum mismatch", ErrCorrupt)
+	}
+	if crc64.Checksum(payload, crcTable) != h.payloadCRC {
+		return zero, nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	var fm fileMeta
+	if err := json.Unmarshal(meta, &fm); err != nil {
+		return zero, nil, fmt.Errorf("%w: meta does not parse: %v", ErrCorrupt, err)
+	}
+	if fm.FormatVersion != FormatVersion {
+		return zero, nil, fmt.Errorf("%w: meta says version %d", ErrVersion, fm.FormatVersion)
+	}
+	k := fm.Key.key()
+	if k.Hash() != h.hash {
+		return zero, nil, fmt.Errorf("%w: header hash does not match the build inputs in the meta", ErrHashMismatch)
+	}
+	if err := k.Geom.Validate(); err != nil {
+		return zero, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := k.Quant.Validate(); err != nil {
+		return zero, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	b := &workload.Built{Spec: k.Spec}
+	off := 0
+	for i := range fm.Layers {
+		lm := &fm.Layers[i]
+		if lm.Rows <= 0 || lm.Cols <= 0 || lm.PlaneWords < 0 || lm.PlanBytes < 0 ||
+			lm.CodeSampled < 0 || lm.Acts.Rows != lm.Rows {
+			return zero, nil, fmt.Errorf("%w: layer %s has inconsistent meta", ErrCorrupt, lm.Name)
+		}
+		need := lm.PlaneWords*8 + lm.PlanBytes + lm.CodeSampled*lm.Acts.Rows*4
+		if need < 0 || len(payload)-off < need {
+			return zero, nil, fmt.Errorf("%w: payload too short for layer %s", ErrCorrupt, lm.Name)
+		}
+		planes := make([]uint64, lm.PlaneWords)
+		for j := range planes {
+			planes[j] = binary.LittleEndian.Uint64(payload[off:])
+			off += 8
+		}
+		st, err := compress.NewStructureFromPlanes(lm.Rows, lm.Cols, k.Quant, k.Geom, planes, lm.NonZeroCells)
+		if err != nil {
+			return zero, nil, fmt.Errorf("%w: layer %s: %v", ErrCorrupt, lm.Name, err)
+		}
+		if lm.PlanBytes > 0 {
+			ps, err := compress.DecodePlanSet(payload[off:off+lm.PlanBytes], st.Layout)
+			if err != nil {
+				return zero, nil, fmt.Errorf("%w: layer %s: %v", ErrCorrupt, lm.Name, err)
+			}
+			st.SeedPlanSet(compress.ORC, fm.PlanIndexBits, ps)
+			off += lm.PlanBytes
+		}
+		codes := core.NewCodePlanes()
+		if lm.CodeSampled > 0 {
+			plane := make([]uint32, lm.CodeSampled*lm.Acts.Rows)
+			for j := range plane {
+				plane[j] = binary.LittleEndian.Uint32(payload[off:])
+				off += 4
+			}
+			codes.Seed(lm.CodeSampled, lm.Acts.Rows, plane)
+		}
+		acts := &workload.SyntheticActs{
+			Rows: lm.Acts.Rows, NWindows: lm.Acts.NWindows,
+			Sparsity: lm.Acts.Sparsity, Octaves: lm.Acts.Octaves,
+			ChanOctaves: lm.Acts.ChanOctaves, RowsPerChan: lm.Acts.RowsPerChan,
+			ABits: lm.Acts.ABits, Seed: lm.Acts.Seed,
+		}
+		b.Layers = append(b.Layers, core.Layer{
+			Name: lm.Name, Struct: st, Acts: acts, Codes: codes,
+			OutputBits: lm.OutputBits, ParallelGroup: lm.ParallelGroup,
+		})
+		b.Stats = append(b.Stats, lm.Stats)
+	}
+	if off != len(payload) {
+		return zero, nil, fmt.Errorf("%w: payload has %d trailing bytes", ErrCorrupt, len(payload)-off)
+	}
+	return k, b, nil
+}
+
+// ReadFile loads a snapshot in one read. Note the decoded network
+// shares backing memory with that read; see Decode.
+func ReadFile(path string) (Key, *workload.Built, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Key{}, nil, err
+	}
+	k, b, err := Decode(data)
+	if err != nil {
+		return Key{}, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return k, b, nil
+}
+
+// WriteFile writes the snapshot atomically: a temp file in the target
+// directory, fsync-free rename into place, so concurrent readers and
+// racing writers only ever observe complete snapshots.
+func WriteFile(path string, k Key, b *workload.Built, o WriteOptions) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".sresnap-*")
+	if err != nil {
+		return err
+	}
+	_, werr := Write(tmp, k, b, o)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadOrBuild consults dir for the key's snapshot: on a hit it loads
+// and returns (built, true); on a clean miss it builds, persists the
+// result for the next caller, and returns (built, false). A snapshot
+// that exists but fails to decode — corruption, version skew, hash
+// mismatch — is a loud error, never a silent rebuild: a shared
+// snapshot directory that has gone bad should be noticed, not
+// papered over.
+func LoadOrBuild(dir string, k Key, o WriteOptions) (*workload.Built, bool, error) {
+	path := filepath.Join(dir, k.FileName())
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		kk, b, derr := Decode(data)
+		if derr != nil {
+			return nil, false, fmt.Errorf("%s: %w", path, derr)
+		}
+		if kk.Hash() != k.Hash() {
+			return nil, false, fmt.Errorf("%s: %w: file holds a different build's artifact", path, ErrHashMismatch)
+		}
+		return b, true, nil
+	case errors.Is(err, fs.ErrNotExist):
+		// Clean miss: build and persist below.
+	default:
+		return nil, false, err
+	}
+	b, err := k.Spec.Build(k.Prune, k.Quant, k.Geom, k.Seed)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := WriteFile(path, k, b, o); err != nil {
+		return nil, false, fmt.Errorf("snapshot: persisting %s: %w", path, err)
+	}
+	return b, false, nil
+}

@@ -276,7 +276,7 @@ func (s Spec) Build(mode PruneMode, p quant.Params, g mapping.Geometry, seed uin
 			ChanOctaves: s.ActChanOctaves,
 			RowsPerChan: rowsPerChan,
 			ABits:       p.ABits,
-			seed:        root.Split("a/" + li.Path).Uint64(),
+			Seed:        root.Split("a/" + li.Path).Uint64(),
 		}
 		b.Layers = append(b.Layers, core.Layer{
 			Name: li.Path, Struct: st, Acts: acts,
@@ -388,7 +388,10 @@ type SyntheticActs struct {
 	ChanOctaves float64 // additional per-channel spread (batch-norm effect)
 	RowsPerChan int     // rows sharing one channel scale (K·K for conv)
 	ABits       int
-	seed        uint64
+	// Seed is the per-layer RNG stream root (derived from the build seed
+	// and the layer path). Exported so internal/snapshot can persist and
+	// reconstruct the source bit-identically.
+	Seed uint64
 }
 
 // Windows implements core.ActivationSource.
@@ -404,7 +407,7 @@ func (s *SyntheticActs) WindowCodes(w int, dst []uint32) {
 	if len(dst) != s.Rows {
 		panic(fmt.Sprintf("workload: window wants %d rows, got %d", s.Rows, len(dst)))
 	}
-	r := xrand.New(s.seed + uint64(w)*0x9e3779b97f4a7c15)
+	r := xrand.New(s.Seed + uint64(w)*0x9e3779b97f4a7c15)
 	globalMax := float64(uint64(1)<<uint(s.ABits) - 1)
 	windowMax := globalMax * math.Pow(2, -s.Octaves*r.Float64())
 	if windowMax < 1 {

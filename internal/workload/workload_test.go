@@ -122,7 +122,7 @@ func TestBuildDeterminism(t *testing.T) {
 }
 
 func TestSyntheticActsSparsity(t *testing.T) {
-	acts := &SyntheticActs{Rows: 5000, NWindows: 4, Sparsity: 0.4, Octaves: 4, ABits: 16, seed: 3}
+	acts := &SyntheticActs{Rows: 5000, NWindows: 4, Sparsity: 0.4, Octaves: 4, ABits: 16, Seed: 3}
 	codes := make([]uint32, 5000)
 	acts.WindowCodes(0, codes)
 	zeros := 0
@@ -140,7 +140,7 @@ func TestSyntheticActsSparsity(t *testing.T) {
 func TestOctavesSkewSliceDensity(t *testing.T) {
 	p := quant.Default()
 	mk := func(octaves float64) float64 {
-		acts := &SyntheticActs{Rows: 4000, NWindows: 8, Sparsity: 0.4, Octaves: octaves, ABits: 16, seed: 5}
+		acts := &SyntheticActs{Rows: 4000, NWindows: 8, Sparsity: 0.4, Octaves: octaves, ABits: 16, Seed: 5}
 		return MeanSliceDensity(acts, 4000, p, 8)
 	}
 	d0, d8 := mk(0), mk(8)
@@ -274,11 +274,11 @@ func TestOutputBitsSet(t *testing.T) {
 
 func TestMeanSliceDensityEdges(t *testing.T) {
 	p := quant.Default()
-	empty := &SyntheticActs{Rows: 0, NWindows: 1, ABits: 16, seed: 1}
+	empty := &SyntheticActs{Rows: 0, NWindows: 1, ABits: 16, Seed: 1}
 	if d := MeanSliceDensity(empty, 0, p, 1); d != 0 {
 		t.Fatalf("empty density %v", d)
 	}
-	allZero := &SyntheticActs{Rows: 100, NWindows: 3, Sparsity: 1, Octaves: 2, ABits: 16, seed: 2}
+	allZero := &SyntheticActs{Rows: 100, NWindows: 3, Sparsity: 1, Octaves: 2, ABits: 16, Seed: 2}
 	if d := MeanSliceDensity(allZero, 100, p, 0); d != 0 {
 		t.Fatalf("all-zero density %v", d)
 	}

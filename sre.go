@@ -15,11 +15,18 @@
 // at any width, and RunContext makes long sweeps cancellable and
 // observable (WithProgress). See DESIGN.md for the model and
 // EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Built networks persist: Network.WriteTo serializes everything a
+// build produces into one versioned artifact, OpenSnapshot loads it
+// back bit-identically, and WithSnapshotDir turns Load/Build into a
+// content-addressed cache over a snapshot directory (DESIGN.md §6).
 package sre
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
@@ -33,6 +40,7 @@ import (
 	"sre/internal/parallel"
 	"sre/internal/quant"
 	"sre/internal/reram"
+	"sre/internal/snapshot"
 	"sre/internal/workload"
 )
 
@@ -226,6 +234,14 @@ func DefaultConfig() Config {
 }
 
 // WithOU returns the config with a square OU size.
+//
+// Deprecated: use the sre.WithOU functional option instead — the
+// options are the single documented way to adjust a design point:
+//
+//	net, _ := sre.Load("VGG-16", sre.WithConfig(cfg), sre.WithOU(16))
+//
+// This method survives only for callers that assemble a Config value
+// before handing it to WithConfig.
 func (c Config) WithOU(s int) Config {
 	c.OUHeight, c.OUWidth = s, s
 	return c
@@ -233,17 +249,26 @@ func (c Config) WithOU(s int) Config {
 
 // settings is the resolved option set a constructor or run starts from.
 type settings struct {
-	cfg      Config
-	style    PruneStyle
-	weightSp float64 // Build: overall weight-sparsity target
-	actSp    float64 // Build: overall activation-sparsity target
+	cfg         Config
+	style       PruneStyle
+	weightSp    float64 // Build: overall weight-sparsity target
+	actSp       float64 // Build: overall activation-sparsity target
 	progress    func(Progress)
 	metrics     *metrics.Registry
 	noCodeCache bool
+	snapshotDir string
 }
 
-// Option adjusts network construction (Load, Build) or a single run
-// (RunContext, RunAllContext). Options are applied in order.
+// Option adjusts network construction (Load, Build, OpenSnapshot) or a
+// single run (RunContext, RunAllContext).
+//
+// Precedence is strictly positional: options are applied in order, and
+// a later option wins over an earlier one for the fields it sets.
+// Config values take part in the same ordering — WithConfig(cfg)
+// adopts the whole Config at its position, so field options before it
+// are overwritten and field options after it override its fields.
+// Constructors start from DefaultConfig; there is no separate
+// Config-vs-Option precedence beyond that ordering.
 type Option func(*settings)
 
 // WithConfig adopts an entire Config (a hardware design point) at
@@ -316,6 +341,18 @@ type MetricsSnapshot = metrics.Snapshot
 // Snapshot merges all of them deterministically.
 func NewMetrics() *Metrics { return metrics.NewRegistry() }
 
+// WithSnapshotDir makes Load and Build consult dir before building:
+// the build inputs are content-hashed, and if dir holds a snapshot for
+// that hash it is loaded instead of built (SnapshotLoaded reports
+// which happened). On a miss the network is built and persisted to dir
+// atomically, so the next process — or a replica sharing the
+// directory — starts warm. A snapshot that exists but is corrupt or
+// version-skewed is a loud error, never a silent rebuild. The option
+// is ignored by per-run methods.
+func WithSnapshotDir(dir string) Option {
+	return func(s *settings) { s.snapshotDir = dir }
+}
+
 // WithMetrics attaches a metrics registry to a run. The simulator
 // records OU activations, wordline-occupancy histograms, window
 // sampling, plan-cache traffic, crossbar reads, and worker-pool
@@ -366,13 +403,19 @@ func (c Config) Validate() error {
 	return c.params().Validate()
 }
 
-// Breakdown splits energy by component class (joules).
+// ResultVersion is the current Result wire-format version; see
+// Result.Version.
+const ResultVersion = 1
+
+// Breakdown splits a run's energy by component class. Every field is
+// in joules; Breakdown is part of the served JSON wire format, so
+// field meanings and units are stable within a Result.Version.
 type Breakdown struct {
-	Compute      float64 // arrays, DACs, S&H, ADCs, IR/OR, shift-and-add
-	EDRAM        float64 // buffer fetches
-	Index        float64 // Index Decoder + Wordline Vector Generator
-	Interconnect float64 // inter-layer feature-map transfers over the NoC
-	Leakage      float64
+	Compute      float64 // joules: arrays, DACs, S&H, ADCs, IR/OR, shift-and-add
+	EDRAM        float64 // joules: buffer fetches
+	Index        float64 // joules: Index Decoder + Wordline Vector Generator
+	Interconnect float64 // joules: inter-layer feature-map transfers over the NoC
+	Leakage      float64 // joules: leakage over the run's duration
 }
 
 // Total returns the summed energy in joules.
@@ -380,23 +423,29 @@ func (b Breakdown) Total() float64 {
 	return b.Compute + b.EDRAM + b.Index + b.Interconnect + b.Leakage
 }
 
-// LayerResult reports one layer of a run.
+// LayerResult reports one layer of a run. Like Result it is part of
+// the served JSON wire format; units are fixed per field.
 type LayerResult struct {
 	Name    string
-	Cycles  int64
-	Seconds float64
+	Cycles  int64   // accelerator clock cycles the layer occupies
+	Seconds float64 // wall-clock seconds at the modeled clock rate
 	Energy  Breakdown
 }
 
 // Result reports one network under one mode and config.
 type Result struct {
+	// Version is the wire-format version of this struct (currently
+	// ResultVersion). Served JSON carries it so clients can detect
+	// field-semantics changes forward-compatibly; a zero Version marks
+	// a result from a pre-versioning build.
+	Version          int
 	Network          string
 	Mode             Mode
-	Cycles           int64
-	Seconds          float64
+	Cycles           int64   // accelerator clock cycles, end to end
+	Seconds          float64 // wall-clock seconds at the modeled clock rate
 	Energy           Breakdown
-	CompressionRatio float64 // weight compression of the mode's scheme
-	IndexStorageBits int64   // input-index storage the scheme needs
+	CompressionRatio float64 // weight compression of the mode's scheme (×, dimensionless)
+	IndexStorageBits int64   // input-index storage the scheme needs (bits)
 	Layers           []LayerResult
 	// Metrics is the merged observability snapshot when the run carried
 	// a WithMetrics registry (nil otherwise). RunAllContext snapshots
@@ -423,6 +472,8 @@ type Network struct {
 	cfg      Config
 	style    PruneStyle
 	progress func(Progress)
+
+	fromSnapshot bool // loaded from a snapshot rather than built
 
 	occMu sync.Mutex
 	occ   []*compress.OCCStructure // lazy, for RunOCC
@@ -456,8 +507,8 @@ func Load(name string, opts ...Option) (*Network, error) {
 // WithSparsity sets the overall weight/activation sparsity targets
 // (default 0.5 each).
 func Build(name, topology string, inputShape []int, opts ...Option) (*Network, error) {
-	if len(inputShape) != 3 {
-		return nil, fmt.Errorf("sre: input shape must be [channels, height, width]")
+	if err := validateInputShape(inputShape); err != nil {
+		return nil, err
 	}
 	s := defaultSettings().apply(opts)
 	spec := workload.Spec{
@@ -478,6 +529,27 @@ func Build(name, topology string, inputShape []int, opts ...Option) (*Network, e
 	return buildNetwork(spec, s)
 }
 
+// ErrInvalidShape marks an input shape rejected at the API boundary;
+// match it with errors.Is.
+var ErrInvalidShape = errors.New("sre: invalid input shape")
+
+// validateInputShape rejects malformed [channels, height, width]
+// shapes before they reach the workload builder, where a zero or
+// negative dimension would quietly build a degenerate network.
+func validateInputShape(shape []int) error {
+	if len(shape) != 3 {
+		return fmt.Errorf("%w: got %d dims %v, want [channels, height, width]",
+			ErrInvalidShape, len(shape), shape)
+	}
+	for i, d := range shape {
+		if d < 1 {
+			return fmt.Errorf("%w: dim %d of %v is %d, every dimension must be >= 1",
+				ErrInvalidShape, i, shape, d)
+		}
+	}
+	return nil
+}
+
 func buildNetwork(spec workload.Spec, s settings) (*Network, error) {
 	if err := s.cfg.Validate(); err != nil {
 		return nil, err
@@ -485,6 +557,22 @@ func buildNetwork(spec workload.Spec, s settings) (*Network, error) {
 	mode, err := s.style.pruneMode()
 	if err != nil {
 		return nil, err
+	}
+	if s.snapshotDir != "" {
+		key := snapshot.Key{Spec: spec, Prune: mode, Quant: s.cfg.params(),
+			Geom: s.cfg.geometry(), Seed: s.cfg.Seed}
+		wopts := snapshot.WriteOptions{MaxWindows: s.cfg.MaxWindows}
+		if s.cfg.IndexBits > 0 {
+			wopts.IndexBits = s.cfg.IndexBits
+		} else {
+			wopts.IndexBits = spec.IndexBits
+		}
+		built, hit, err := snapshot.LoadOrBuild(s.snapshotDir, key, wopts)
+		if err != nil {
+			return nil, err
+		}
+		return &Network{name: spec.Name, spec: spec, built: built, cfg: s.cfg,
+			style: s.style, progress: s.progress, fromSnapshot: hit}, nil
 	}
 	built, err := spec.Build(mode, s.cfg.params(), s.cfg.geometry(), s.cfg.Seed)
 	if err != nil {
@@ -507,6 +595,96 @@ func (s PruneStyle) pruneMode() (workload.PruneMode, error) {
 	}
 	return 0, fmt.Errorf("sre: unknown prune style %d", int(s))
 }
+
+// pruneStyleFor is pruneMode's inverse, mapping a snapshot's persisted
+// workload mode back to the public style.
+func pruneStyleFor(m workload.PruneMode) (PruneStyle, error) {
+	switch m {
+	case workload.SSL:
+		return SSL, nil
+	case workload.GSL:
+		return GSL, nil
+	case workload.NoPrune:
+		return Dense, nil
+	}
+	return 0, fmt.Errorf("sre: snapshot has unknown prune mode %d", int(m))
+}
+
+// Named snapshot-decoding failures, re-exported so OpenSnapshot
+// callers can match them with errors.Is without importing internals.
+var (
+	// ErrSnapshotCorrupt marks a snapshot whose lengths, checksums, or
+	// structural invariants do not hold (including truncation).
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+	// ErrSnapshotVersion marks a snapshot written by an incompatible
+	// format version.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotHash marks a snapshot whose header content hash does
+	// not match its recorded build inputs.
+	ErrSnapshotHash = snapshot.ErrHashMismatch
+)
+
+// WriteTo serializes the built network — compression structures, ORC
+// plan sets, window-code planes, activation parameters, and stats —
+// as one versioned snapshot (DESIGN.md §6) and returns the bytes
+// written. It implements io.WriterTo. The artifact is keyed by a
+// content hash of the build inputs, so OpenSnapshot restores a network
+// bit-identical to this one, and WithSnapshotDir can find it by
+// hashing the same inputs. Persisted derived sections use this
+// network's effective MaxWindows and index width; other run configs
+// still load fine and re-derive lazily.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	mode, err := n.style.pruneMode()
+	if err != nil {
+		return 0, err
+	}
+	k := snapshot.Key{Spec: n.spec, Prune: mode, Quant: n.cfg.params(),
+		Geom: n.cfg.geometry(), Seed: n.cfg.Seed}
+	return snapshot.Write(w, k, n.built,
+		snapshot.WriteOptions{MaxWindows: n.cfg.MaxWindows, IndexBits: n.indexBits()})
+}
+
+// OpenSnapshot loads a network from a snapshot file in one read,
+// skipping the build entirely. The snapshot pins the build point
+// (geometry, precision, seed, prune style); options may adjust
+// run-scoped knobs (WithWorkers, WithMaxWindows, WithIndexBits,
+// WithProgress, …), and any option that would change the build point
+// is rejected, exactly as run options are. Decoding failures return
+// the named errors ErrSnapshotCorrupt, ErrSnapshotVersion, and
+// ErrSnapshotHash — a bad snapshot never silently falls back to a
+// rebuild.
+func OpenSnapshot(path string, opts ...Option) (*Network, error) {
+	k, built, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	style, err := pruneStyleFor(k.Prune)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultConfig()
+	cfg.CrossbarSize = k.Geom.XbarRows
+	cfg.OUHeight, cfg.OUWidth = k.Geom.SWL, k.Geom.SBL
+	cfg.WeightBits, cfg.ActivationBits = k.Quant.WBits, k.Quant.ABits
+	cfg.CellBits, cfg.DACBits = k.Quant.CellBits, k.Quant.DACBits
+	cfg.Seed = k.Seed
+	if cfg.geometry() != k.Geom || cfg.params() != k.Quant {
+		return nil, fmt.Errorf("sre: snapshot %s has a design point Config cannot represent (%+v)", path, k.Geom)
+	}
+	s := settings{cfg: cfg, style: style}.apply(opts)
+	if s.cfg.geometry() != k.Geom || s.cfg.params() != k.Quant ||
+		s.cfg.Seed != k.Seed || s.style != style {
+		return nil, fmt.Errorf(
+			"sre: option would change the snapshot's build point (geometry, precision, seed, or prune style); rebuild with Load/Build instead")
+	}
+	return &Network{name: k.Spec.Name, spec: k.Spec, built: built, cfg: s.cfg,
+		style: style, progress: s.progress, fromSnapshot: true}, nil
+}
+
+// SnapshotLoaded reports whether this network came from a snapshot
+// (OpenSnapshot, or a WithSnapshotDir cache hit) rather than a fresh
+// build — the signal serve-layer hit/miss metrics count.
+func (n *Network) SnapshotLoaded() bool { return n.fromSnapshot }
 
 // Name returns the network's name.
 func (n *Network) Name() string { return n.name }
@@ -594,6 +772,7 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 		return Result{}, err
 	}
 	out := Result{
+		Version: ResultVersion,
 		Network: n.name,
 		Mode:    mode,
 		Cycles:  res.Cycles,
@@ -733,6 +912,7 @@ func (n *Network) RunOCC(opts ...Option) (Result, error) {
 	}
 	res := core.SimulateNetwork(layers, cfg)
 	out := Result{
+		Version: ResultVersion,
 		Network: n.name,
 		Cycles:  res.Cycles,
 		Seconds: res.Time,
@@ -763,6 +943,7 @@ func (n *Network) RunISAAC(withReCom bool) Result {
 	cfg.ReCom = withReCom
 	res := isaac.SimulateNetwork(n.built.ISAACInputs(), cfg)
 	out := Result{
+		Version: ResultVersion,
 		Network: n.name + "/isaac",
 		Cycles:  res.Cycles,
 		Seconds: res.Time,

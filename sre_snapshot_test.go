@@ -1,0 +1,258 @@
+package sre
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSnapshot serializes net to a file in dir and returns the path.
+func writeSnapshot(t *testing.T, dir string, net *Network) string {
+	t.Helper()
+	path := filepath.Join(dir, "net.sresnap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sameResult compares the simulation-visible surface of two results.
+func sameResult(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.Seconds != b.Seconds || a.Energy != b.Energy ||
+		a.CompressionRatio != b.CompressionRatio || a.IndexStorageBits != b.IndexStorageBits {
+		t.Fatalf("%s: results diverged:\n fresh %+v\n snap  %+v", label, a, b)
+	}
+	if len(a.Layers) != len(b.Layers) {
+		t.Fatalf("%s: layer counts diverged", label)
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			t.Fatalf("%s: layer %d diverged:\n fresh %+v\n snap  %+v",
+				label, i, a.Layers[i], b.Layers[i])
+		}
+	}
+}
+
+// TestSnapshotGoldenAllModes is the golden bit-identity test: a
+// snapshot-loaded network must produce results identical to the fresh
+// build it was written from, in every mode, under both prune styles.
+func TestSnapshotGoldenAllModes(t *testing.T) {
+	for _, style := range []PruneStyle{SSL, GSL} {
+		fresh, err := Load("MNIST", WithConfig(testConfig()), WithPrune(style))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := writeSnapshot(t, t.TempDir(), fresh)
+		// MaxWindows is run-scoped (the opener's choice, not part of the
+		// snapshot's build point) — pin it to the fresh network's value
+		// so the runs compare window for window.
+		loaded, err := OpenSnapshot(path, WithMaxWindows(testConfig().MaxWindows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loaded.SnapshotLoaded() {
+			t.Fatal("OpenSnapshot network does not report SnapshotLoaded")
+		}
+		if loaded.Name() != fresh.Name() || loaded.LayerCount() != fresh.LayerCount() {
+			t.Fatalf("identity diverged: %s/%d vs %s/%d",
+				loaded.Name(), loaded.LayerCount(), fresh.Name(), fresh.LayerCount())
+		}
+		for _, mode := range Modes() {
+			want, err := fresh.Run(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := loaded.Run(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, style.String()+"/"+mode.String(), want, got)
+		}
+		// OCC rebuilds its structures from the persisted spec — it must
+		// agree too.
+		wantOCC, err := fresh.RunOCC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOCC, err := loaded.RunOCC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, style.String()+"/occ", wantOCC, gotOCC)
+	}
+}
+
+// TestWithSnapshotDir proves Load's snapshot-dir protocol: first call
+// builds and persists (a miss), second call loads (a hit), and both
+// simulate identically.
+func TestWithSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := Load("MNIST", WithConfig(testConfig()), WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.SnapshotLoaded() {
+		t.Fatal("first load reported a snapshot hit in an empty dir")
+	}
+	warm, err := Load("MNIST", WithConfig(testConfig()), WithSnapshotDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.SnapshotLoaded() {
+		t.Fatal("second load did not hit the snapshot")
+	}
+	a, err := cold.Run(ORCDOF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := warm.Run(ORCDOF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "dir hit", a, b)
+	// A different build point must not collide with the cached file.
+	other, err := Load("MNIST", WithConfig(testConfig()), WithSnapshotDir(dir), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.SnapshotLoaded() {
+		t.Fatal("different seed hit the other seed's snapshot")
+	}
+}
+
+// TestOpenSnapshotOptionBoundary proves run-scoped options are honored
+// and build-scoped options rejected, mirroring the run-option contract.
+func TestOpenSnapshotOptionBoundary(t *testing.T) {
+	net, err := Load("MNIST", WithConfig(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSnapshot(t, t.TempDir(), net)
+	if _, err := OpenSnapshot(path, WithWorkers(2), WithMaxWindows(6)); err != nil {
+		t.Fatalf("run-scoped options rejected: %v", err)
+	}
+	for name, opt := range map[string]Option{
+		"seed":     WithSeed(99),
+		"ou":       WithOU(32),
+		"crossbar": WithCrossbar(64),
+		"cellbits": WithCellBits(4),
+		"prune":    WithPrune(GSL),
+	} {
+		if _, err := OpenSnapshot(path, opt); err == nil {
+			t.Fatalf("build-scoped option %q accepted", name)
+		}
+	}
+}
+
+// TestOpenSnapshotNamedErrors proves decode failures surface as the
+// package's named errors through the public entry point.
+func TestOpenSnapshotNamedErrors(t *testing.T) {
+	net, err := Load("MNIST", WithConfig(testConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := writeSnapshot(t, t.TempDir(), net)
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)-9] }, ErrSnapshotCorrupt},
+		{"version", func(b []byte) []byte { b[8] = 42; return b }, ErrSnapshotVersion},
+		{"hash", func(b []byte) []byte { b[41] ^= 0x10; return b }, ErrSnapshotHash},
+	}
+	for _, tc := range cases {
+		bad := tc.mutate(append([]byte(nil), img...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSnapshot(path); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBuildInputShapeValidation is the API-boundary table test: every
+// malformed [channels, height, width] shape must be rejected with
+// ErrInvalidShape before it reaches the workload builder.
+func TestBuildInputShapeValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape []int
+		ok    bool
+	}{
+		{"nil", nil, false},
+		{"empty", []int{}, false},
+		{"too few dims", []int{3, 5}, false},
+		{"too many dims", []int{3, 5, 5, 1}, false},
+		{"zero dim", []int{3, 0, 0}, false},
+		{"negative dim", []int{3, -5, 5}, false},
+		{"valid", []int{1, 8, 8}, true},
+	}
+	for _, tc := range cases {
+		_, err := Build("t", "conv3x2-4", tc.shape, WithConfig(testConfig()))
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: rejected valid shape: %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrInvalidShape) {
+			t.Fatalf("%s (%v): got %v, want errors.Is(ErrInvalidShape)", tc.name, tc.shape, err)
+		}
+	}
+}
+
+// benchColdNet picks the paper's largest network for the cold-start
+// contrast the snapshot format exists for.
+const benchColdNet = "VGG-16"
+
+// BenchmarkColdStartBuild measures Load's full build path — workload
+// synthesis plus compression structures — for VGG-16.
+func BenchmarkColdStartBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(benchColdNet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartOpenSnapshot measures the same cold start through
+// a snapshot file: one read plus zero-copy decoding.
+func BenchmarkColdStartOpenSnapshot(b *testing.B) {
+	net, err := Load(benchColdNet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "vgg16.sresnap")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.WriteTo(f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenSnapshot(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

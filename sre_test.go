@@ -238,8 +238,7 @@ func TestOUSweepViaConfig(t *testing.T) {
 	// Larger OUs need fewer cycles for the dense baseline.
 	var prev int64 = -1
 	for _, ou := range []int{8, 16, 32} {
-		cfg := testConfig().WithOU(ou)
-		net, err := Load("MNIST", WithConfig(cfg))
+		net, err := Load("MNIST", WithConfig(testConfig()), WithOU(ou))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -90,9 +90,18 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if !strings.Contains(string(raw), `"Mode":"orc+dof"`) {
 		t.Fatalf("Mode did not marshal as its canonical string: %s", raw)
 	}
+	if res.Version != ResultVersion {
+		t.Fatalf("Result.Version = %d, want ResultVersion (%d)", res.Version, ResultVersion)
+	}
+	if !strings.Contains(string(raw), `"Version":1`) {
+		t.Fatalf("served JSON is missing the wire-format version: %s", raw[:120])
+	}
 	var back Result
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
+	}
+	if back.Version != res.Version {
+		t.Fatalf("Version diverged: got %d, want %d", back.Version, res.Version)
 	}
 	if back.Mode != res.Mode || back.Cycles != res.Cycles ||
 		back.Seconds != res.Seconds || back.Energy != res.Energy ||

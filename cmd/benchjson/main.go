@@ -7,11 +7,21 @@
 // Usage:
 //
 //	go test -bench . -benchmem -run=NONE . | benchjson -out BENCH_PR3.json
+//	go test -bench . -count 5 -run=NONE . | benchjson -count 5 -out BENCH_PR7.json
 //	benchjson -compare BENCH_PR3.json BENCH_PR4.json
+//
+// With `go test -count N`, every benchmark prints N result lines.
+// benchjson folds the repeats of each name into one entry: Metrics
+// holds the per-unit median (robust against a noisy repeat on a
+// shared box) and Min holds the per-unit minimum (the best the code
+// did with the least interference). `-count N` declares the expected
+// repeat count so a benchmark that silently ran fewer times is warned
+// about rather than recorded as clean data.
 //
 // The -compare form reads two previously-recorded files and prints a
 // per-benchmark delta table (ns/op, B/op, allocs/op) instead of parsing
-// stdin; `make bench-compare` wraps it.
+// stdin; when both records carry multi-sample minima, a min-ns/op row
+// is added per benchmark. `make bench-compare` wraps it.
 package main
 
 import (
@@ -25,13 +35,19 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark line. Metrics holds every
-// value/unit pair go test printed: "ns/op", "B/op", "allocs/op", plus
-// any b.ReportMetric custom units.
+// Benchmark is one recorded benchmark. Metrics holds every value/unit
+// pair go test printed: "ns/op", "B/op", "allocs/op", plus any
+// b.ReportMetric custom units. When the run repeated the benchmark
+// (go test -count N), Metrics is the per-unit median across repeats,
+// Min the per-unit minimum, and Samples the repeat count; a
+// single-shot run leaves Min/Samples unset so old records stay
+// byte-compatible.
 type Benchmark struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Min        map[string]float64 `json:"min,omitempty"`
+	Samples    int                `json:"samples,omitempty"`
 }
 
 // Record is the file-level JSON shape.
@@ -45,6 +61,7 @@ type Record struct {
 
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks to this JSON file")
+	count := flag.Int("count", 1, "expected repeats per benchmark (go test -count N); repeats fold into min/median")
 	compare := flag.String("compare", "", "compare OLD.json (this flag) against NEW.json (positional arg) and print deltas")
 	flag.Parse()
 
@@ -85,6 +102,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	rec.Benchmarks = aggregate(rec.Benchmarks, *count)
 	if *out == "" {
 		return
 	}
@@ -125,6 +143,73 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		b.Metrics[fields[i+1]] = v
 	}
 	return b, len(b.Metrics) > 0
+}
+
+// aggregate folds repeated benchmark lines (go test -count N) into
+// one Benchmark per name, in first-seen order: Metrics becomes the
+// per-unit median, Min the per-unit minimum. Names that appeared once
+// pass through untouched. count is the expected repeat count; any
+// name with a different sample count gets a stderr warning (a crashed
+// or skipped repeat shouldn't masquerade as clean data).
+func aggregate(benches []Benchmark, count int) []Benchmark {
+	groups := map[string][]Benchmark{}
+	var order []string
+	for _, b := range benches {
+		if _, seen := groups[b.Name]; !seen {
+			order = append(order, b.Name)
+		}
+		groups[b.Name] = append(groups[b.Name], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		if count > 1 && len(g) != count {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s has %d samples, expected %d\n",
+				name, len(g), count)
+		}
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		agg := Benchmark{
+			Name:    name,
+			Metrics: map[string]float64{},
+			Min:     map[string]float64{},
+			Samples: len(g),
+		}
+		units := map[string][]float64{}
+		var iters []float64
+		for _, b := range g {
+			iters = append(iters, float64(b.Iterations))
+			for unit, v := range b.Metrics {
+				units[unit] = append(units[unit], v)
+			}
+		}
+		agg.Iterations = int64(median(iters))
+		for unit, vs := range units {
+			agg.Metrics[unit] = median(vs)
+			min := vs[0]
+			for _, v := range vs[1:] {
+				if v < min {
+					min = v
+				}
+			}
+			agg.Min[unit] = min
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// median returns the middle value of vs (mean of the two middles for
+// even lengths). vs must be non-empty; it is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // compareUnits are the metrics the delta table reports, in column order.
@@ -169,6 +254,17 @@ func compareRecords(oldPath, newPath string) error {
 				delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
 			fmt.Printf("%-40s %10s %14.0f %14.0f %8s\n", name, unit, ov, nv, delta)
+		}
+		// Multi-sample records also carry per-unit minima; the min
+		// ns/op row shows the least-interfered repeat on noisy boxes.
+		if ov, hasOld := ob.Min["ns/op"]; hasOld {
+			if nv, hasNew := nb.Min["ns/op"]; hasNew {
+				delta := "n/a"
+				if ov != 0 {
+					delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+				}
+				fmt.Printf("%-40s %10s %14.0f %14.0f %8s\n", name, "min-ns/op", ov, nv, delta)
+			}
 		}
 	}
 	for name := range newBy {

@@ -78,13 +78,10 @@ func (s *Set) Reset() {
 	}
 }
 
-// Count returns the number of set bits.
+// Count returns the number of set bits. It shares one kernel entry
+// point with CountWords (see kernel.go for the dispatch tiers).
 func (s *Set) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return popcountWords(s.words)
 }
 
 // CountRange returns the number of set bits in [lo, hi).

@@ -1,0 +1,232 @@
+package bitset
+
+import (
+	"math/bits"
+	"testing"
+
+	"sre/internal/xrand"
+)
+
+// popcountRef is the golden-reference popcount: the original
+// one-word-at-a-time scalar loop every kernel tier must match.
+func popcountRef(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// countAndPlanesRef is the golden-reference plane kernel: the original
+// simple per-group loop.
+func countAndPlanesRef(mask, plane []uint64, counts []int) {
+	w := len(mask)
+	for g := range counts {
+		c := 0
+		for i, m := range mask {
+			c += bits.OnesCount64(m & plane[g*w+i])
+		}
+		counts[g] = c
+	}
+}
+
+// raggedLengths hits every dispatch boundary: empty, single word,
+// non-multiples of the 4-way unroll, and both sides of the AVX2
+// popcount threshold.
+var raggedLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 15, 16, 17, 31, 32, 33, 64, 100, 129}
+
+func kernelWords(r *xrand.RNG, n int, fill string) []uint64 {
+	words := make([]uint64, n)
+	for i := range words {
+		switch fill {
+		case "zero":
+		case "ones":
+			words[i] = ^uint64(0)
+		default:
+			words[i] = r.Uint64()
+		}
+	}
+	return words
+}
+
+func TestPopcountTiersAgree(t *testing.T) {
+	r := xrand.New(7)
+	for _, n := range raggedLengths {
+		for _, fill := range []string{"zero", "ones", "random"} {
+			words := kernelWords(r, n, fill)
+			want := popcountRef(words)
+			if got := popcountGeneric(words); got != want {
+				t.Errorf("popcountGeneric n=%d fill=%s: got %d want %d", n, fill, got, want)
+			}
+			if got := CountWords(words); got != want {
+				t.Errorf("CountWords n=%d fill=%s: got %d want %d", n, fill, got, want)
+			}
+			if hasAVX2 && n > 0 {
+				if got := popcntAVX2(&words[0], n); got != want {
+					t.Errorf("popcntAVX2 n=%d fill=%s: got %d want %d", n, fill, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetCountMatchesKernel(t *testing.T) {
+	r := xrand.New(8)
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096} {
+		s := randomSet(r, n, 0.4)
+		if got, want := s.Count(), popcountRef(s.Words()); got != want {
+			t.Errorf("Set.Count n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestCountAndPlanesTiersAgree(t *testing.T) {
+	r := xrand.New(9)
+	widths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9}
+	groupCounts := []int{0, 1, 2, 3, 4, 5, 7, 8, 17}
+	for _, w := range widths {
+		for _, groups := range groupCounts {
+			for _, fill := range []string{"zero", "ones", "random"} {
+				mask := kernelWords(r, w, fill)
+				plane := kernelWords(r, w*groups, fill)
+				want := make([]int, groups)
+				countAndPlanesRef(mask, plane, want)
+
+				got := make([]int, groups)
+				for i := range got {
+					got[i] = -1
+				}
+				CountAndPlanes(mask, plane, got)
+				for g := range want {
+					if got[g] != want[g] {
+						t.Fatalf("CountAndPlanes w=%d groups=%d fill=%s g=%d: got %d want %d",
+							w, groups, fill, g, got[g], want[g])
+					}
+				}
+
+				if w > 0 && groups > 0 {
+					gen := make([]int, groups)
+					countAndPlanesGeneric(mask, plane, gen)
+					for g := range want {
+						if gen[g] != want[g] {
+							t.Fatalf("countAndPlanesGeneric w=%d groups=%d fill=%s g=%d: got %d want %d",
+								w, groups, fill, g, gen[g], want[g])
+						}
+					}
+				}
+				if hasAVX2 && groups > 0 {
+					av := make([]int, groups)
+					switch w {
+					case 1:
+						countAndPlanes1(mask[0], plane, av)
+					case 2:
+						countAndPlanes2(mask, plane, av)
+					default:
+						continue
+					}
+					for g := range want {
+						if av[g] != want[g] {
+							t.Fatalf("AVX2 w=%d groups=%d fill=%s g=%d: got %d want %d",
+								w, groups, fill, g, av[g], want[g])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPopcountTiers cross-checks every popcount tier on arbitrary
+// byte-derived word slices (the fuzzer finds ragged lengths on its own
+// since len(data)/8 rarely aligns with the unroll).
+func FuzzPopcountTiers(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add(make([]byte, 8*17))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := make([]uint64, len(data)/8+1)
+		for i, b := range data {
+			words[i/8] |= uint64(b) << uint(8*(i%8))
+		}
+		for n := 0; n <= len(words); n++ {
+			sub := words[:n]
+			want := popcountRef(sub)
+			if got := popcountGeneric(sub); got != want {
+				t.Fatalf("popcountGeneric n=%d: got %d want %d", n, got, want)
+			}
+			if got := CountWords(sub); got != want {
+				t.Fatalf("CountWords n=%d: got %d want %d", n, got, want)
+			}
+			if hasAVX2 && n > 0 {
+				if got := popcntAVX2(&sub[0], n); got != want {
+					t.Fatalf("popcntAVX2 n=%d: got %d want %d", n, got, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCountAndPlanesTiers cross-checks the fused plane kernel tiers,
+// deriving (width, groups, words) from the fuzz input.
+func FuzzCountAndPlanesTiers(f *testing.F) {
+	f.Add(uint8(1), uint8(4), []byte{0xff, 0x00, 0x12})
+	f.Add(uint8(2), uint8(3), []byte{})
+	f.Add(uint8(5), uint8(2), make([]byte, 96))
+	f.Fuzz(func(t *testing.T, w8, g8 uint8, data []byte) {
+		w := int(w8%9) + 1
+		groups := int(g8 % 18)
+		need := w * (groups + 1)
+		words := make([]uint64, need)
+		for i, b := range data {
+			if i/8 >= need {
+				break
+			}
+			words[i/8] |= uint64(b) << uint(8*(i%8))
+		}
+		mask, plane := words[:w], words[w:w+w*groups]
+		want := make([]int, groups)
+		countAndPlanesRef(mask, plane, want)
+		got := make([]int, groups)
+		CountAndPlanes(mask, plane, got)
+		for g := range want {
+			if got[g] != want[g] {
+				t.Fatalf("w=%d groups=%d g=%d: got %d want %d", w, groups, g, got[g], want[g])
+			}
+		}
+		if groups > 0 {
+			gen := make([]int, groups)
+			countAndPlanesGeneric(mask, plane, gen)
+			for g := range want {
+				if gen[g] != want[g] {
+					t.Fatalf("generic w=%d groups=%d g=%d: got %d want %d", w, groups, g, gen[g], want[g])
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkCountWords(b *testing.B) {
+	r := xrand.New(3)
+	words := kernelWords(r, 512, "random")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkInt = CountWords(words)
+	}
+}
+
+var sinkInt int
+
+func benchmarkCountAndPlanes(b *testing.B, w, groups int) {
+	r := xrand.New(4)
+	mask := kernelWords(r, w, "random")
+	plane := kernelWords(r, w*groups, "random")
+	counts := make([]int, groups)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CountAndPlanes(mask, plane, counts)
+	}
+}
+
+func BenchmarkCountAndPlanesW1(b *testing.B) { benchmarkCountAndPlanes(b, 1, 16) }
+func BenchmarkCountAndPlanesW2(b *testing.B) { benchmarkCountAndPlanes(b, 2, 16) }
+func BenchmarkCountAndPlanesW8(b *testing.B) { benchmarkCountAndPlanes(b, 8, 16) }

@@ -20,37 +20,40 @@ func AppendPlane(plane []uint64, s *Set) []uint64 {
 	return append(plane, s.words...)
 }
 
-// CountWords returns the population count of a raw word slice.
+// CountWords returns the population count of a raw word slice. It
+// shares one kernel entry point with Set.Count (see kernel.go).
 func CountWords(words []uint64) int {
-	c := 0
-	for _, w := range words {
-		c += bits.OnesCount64(w)
-	}
-	return c
+	return popcountWords(words)
 }
 
 // CountAndPlanes computes counts[g] = popcount(mask ∩ plane group g)
 // for every group in one pass. plane holds len(counts) groups of
 // len(mask) words each (group g at plane[g*len(mask):(g+1)*len(mask)]).
+// Dispatch is shape-aware (kernel.go): the simulator's dominant plane
+// widths (1 and 2 words per group) take the AVX2 tier when available;
+// everything else takes the unrolled portable tier.
 func CountAndPlanes(mask, plane []uint64, counts []int) {
 	w := len(mask)
 	if len(plane) != w*len(counts) {
 		panic("bitset: CountAndPlanes plane/mask/counts size mismatch")
 	}
-	if w == 0 {
+	if w == 0 || len(counts) == 0 {
 		for g := range counts {
 			counts[g] = 0
 		}
 		return
 	}
-	for g := range counts {
-		gw := plane[g*w : g*w+w : g*w+w]
-		c := 0
-		for i, m := range mask {
-			c += bits.OnesCount64(m & gw[i])
+	if hasAVX2 {
+		switch w {
+		case 1:
+			countAndPlanes1(mask[0], plane, counts)
+			return
+		case 2:
+			countAndPlanes2(mask, plane, counts)
+			return
 		}
-		counts[g] = c
 	}
+	countAndPlanesGeneric(mask, plane, counts)
 }
 
 // BuildSliceMasks derives every activation bit-slice mask from one

@@ -127,81 +127,124 @@ func (s *Structure) PlanSetMetered(scheme Scheme, indexBits int, cm CacheMetrics
 	return e.ps
 }
 
-// buildPlanSet derives every tile's plans with the shared keep sets
-// hoisted out of the per-group loop (Naive's tile criterion, ReCom's
-// block criterion — Plan recomputes those unions per group) and each
-// tile's row lists packed into one contiguous backing array, so a
-// build costs a handful of allocations per tile instead of several per
-// group. The produced rows are byte-for-byte what Plan returns.
+// buildPlanSet derives every tile's plans. Schemes whose keep set is
+// shared — Naive's per-tile criterion, ReCom's per-block criterion —
+// are encoded exactly once per tile (resp. row block) and every group
+// header aliases the one row list, instead of re-running the
+// delta-index encoding per group as Plan does; per-group schemes (ORC,
+// Ideal) accumulate their rows in a scratch buffer reused across tiles
+// and take one exact-size copy per tile, so steady-state builds do no
+// append growth at all. Plane words are set in place in the final
+// allocation. The produced rows (and the words the simulator counts
+// against) are byte-for-byte what Plan returns; snapshot encoding
+// serializes each group's rows by content, so aliased headers persist
+// identically.
 func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 	lay := s.Layout
 	ps := &PlanSet{Tiles: make([][]TilePlans, lay.RowBlocks)}
 	var idxScratch []int // reused raw keep-set indices across groups
+	var rowScratch []int // reused encoded-rows accumulator across tiles
+	var offScratch []int // reused per-tile group offsets
+	// encode overwrites rowScratch with keep's retained rows, delta-index
+	// encoded (fillers included) when the scheme carries bounded indices.
+	encode := func(keep *bitset.Set) []int {
+		if scheme == Ideal || indexBits <= 0 {
+			rowScratch = keep.Indices(rowScratch[:0])
+			return rowScratch
+		}
+		idxScratch = keep.Indices(idxScratch[:0])
+		var err error
+		rowScratch, _, err = index.AppendEncodedRows(rowScratch[:0], idxScratch, indexBits)
+		if err != nil {
+			panic(err)
+		}
+		return rowScratch
+	}
 	for rb := 0; rb < lay.RowBlocks; rb++ {
 		ps.Tiles[rb] = make([]TilePlans, lay.ColBlocks)
 		tileRows := lay.TileRows(rb)
 		words := bitset.Words64(tileRows)
-		bs := bitset.New(tileRows) // reused per group for the plane words
-		var blockKeep *bitset.Set
+		var blockRows []int // ReCom: one exact-size row list per row block
 		if scheme == ReCom {
-			blockKeep = s.BlockNonZeroRows(rb)
+			enc := encode(s.BlockNonZeroRows(rb))
+			blockRows = make([]int, len(enc))
+			copy(blockRows, enc)
 		}
 		for cb := 0; cb < lay.ColBlocks; cb++ {
 			tp := &ps.Tiles[rb][cb]
 			nGroups := lay.GroupsInTile(cb)
 			tp.Words = words
 			tp.Groups = nGroups
-			if scheme == Baseline {
+			switch scheme {
+			case Baseline:
 				tp.AllRows = true
 				tp.TileRows = tileRows
 				tp.RowCount = int64(nGroups) * int64(tileRows)
 				tp.OUs = int64(nGroups) * int64(xmath.CeilDiv(tileRows, lay.SWL))
-				continue
-			}
-			var tileKeep *bitset.Set
-			if scheme == Naive {
-				tileKeep = s.TileNonZeroRows(rb, cb)
-			}
-			tp.GroupRows = make([][]int, nGroups)
-			tp.Plane = make([]uint64, 0, nGroups*words)
-			// All groups append into one backing array; headers are cut
-			// afterwards since append growth may move it.
-			offs := make([]int, nGroups+1)
-			var backing []int
-			for gi := 0; gi < nGroups; gi++ {
-				var keep *bitset.Set
-				switch scheme {
-				case Naive:
-					keep = tileKeep
-				case ReCom:
-					keep = blockKeep
-				default: // ORC, Ideal
-					keep = s.groups[rb][cb][gi]
+			case Naive:
+				enc := encode(s.TileNonZeroRows(rb, cb))
+				rows := make([]int, len(enc))
+				copy(rows, enc)
+				tp.shareRows(rows, lay.SWL)
+			case ReCom:
+				tp.shareRows(blockRows, lay.SWL)
+			default: // ORC, Ideal: per-group keep sets
+				tp.GroupRows = make([][]int, nGroups)
+				if cap(offScratch) < nGroups+1 {
+					offScratch = make([]int, nGroups+1)
 				}
-				if scheme == Ideal || indexBits <= 0 {
-					backing = keep.Indices(backing)
-				} else {
-					idxScratch = keep.Indices(idxScratch[:0])
-					var err error
-					backing, _, err = index.AppendEncodedRows(backing, idxScratch, indexBits)
-					if err != nil {
-						panic(err)
+				offs := offScratch[:nGroups+1]
+				offs[0] = 0
+				acc := rowScratch[:0]
+				for gi := 0; gi < nGroups; gi++ {
+					keep := s.groups[rb][cb][gi]
+					if scheme == Ideal || indexBits <= 0 {
+						acc = keep.Indices(acc)
+					} else {
+						idxScratch = keep.Indices(idxScratch[:0])
+						var err error
+						acc, _, err = index.AppendEncodedRows(acc, idxScratch, indexBits)
+						if err != nil {
+							panic(err)
+						}
 					}
+					offs[gi+1] = len(acc)
 				}
-				offs[gi+1] = len(backing)
-			}
-			for gi := 0; gi < nGroups; gi++ {
-				rows := backing[offs[gi]:offs[gi+1]:offs[gi+1]]
-				tp.GroupRows[gi] = rows
-				bs.Reset()
-				for _, r := range rows {
-					bs.Set(r)
+				rowScratch = acc // keep the grown accumulator for later tiles
+				backing := make([]int, len(acc))
+				copy(backing, acc)
+				tp.Plane = make([]uint64, nGroups*words)
+				for gi := 0; gi < nGroups; gi++ {
+					rows := backing[offs[gi]:offs[gi+1]:offs[gi+1]]
+					tp.GroupRows[gi] = rows
+					gw := tp.Plane[gi*words : (gi+1)*words]
+					for _, r := range rows {
+						gw[r>>6] |= 1 << uint(r&63)
+					}
+					tp.RowCount += int64(len(rows))
+					tp.OUs += int64(xmath.CeilDiv(len(rows), lay.SWL))
 				}
-				tp.Plane = bitset.AppendPlane(tp.Plane, bs)
-				tp.RowCount += int64(len(rows))
-				tp.OUs += int64(xmath.CeilDiv(len(rows), lay.SWL))
 			}
 		}
 	}
 	return ps
+}
+
+// shareRows fills a tile whose groups all retain the same rows (Naive,
+// ReCom): every group header aliases the one list and the plane
+// replicates one group's words, preserving the exact per-group layout
+// the counting kernels and snapshot encoder expect.
+func (tp *TilePlans) shareRows(rows []int, swl int) {
+	tp.GroupRows = make([][]int, tp.Groups)
+	tp.Plane = make([]uint64, tp.Groups*tp.Words)
+	g0 := tp.Plane[:tp.Words]
+	for _, r := range rows {
+		g0[r>>6] |= 1 << uint(r&63)
+	}
+	for gi := 0; gi < tp.Groups; gi++ {
+		tp.GroupRows[gi] = rows
+		copy(tp.Plane[gi*tp.Words:(gi+1)*tp.Words], g0)
+	}
+	tp.RowCount = int64(tp.Groups) * int64(len(rows))
+	tp.OUs = int64(tp.Groups) * int64(xmath.CeilDiv(len(rows), swl))
 }

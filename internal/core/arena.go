@@ -135,6 +135,7 @@ type p1Scratch struct {
 	nonEmpty []uint64
 	counts   []int
 	sliceNZ  []int
+	ouTab    []int32 // ouTab[nz] = ceil(nz/SWL), nz in [0, XbarRows]
 
 	reg *metrics.Registry
 	sh  *metrics.Shard
@@ -202,4 +203,11 @@ func (s *p1Scratch) shape(lay mapping.Layout, spi int) {
 	}
 	s.counts = make([]int, maxGroups)
 	s.sliceNZ = make([]int, lay.RowBlocks*spi)
+	// Phase 1 computes ceil(nz/S_WL) for every non-zero group count; a
+	// lookup table turns the inner loop's hardware division (a ~20%
+	// profile cost) into an L1 load. nz never exceeds a tile's rows.
+	s.ouTab = make([]int32, lay.XbarRows+1)
+	for nz := 1; nz <= lay.XbarRows; nz++ {
+		s.ouTab[nz] = int32((nz + lay.SWL - 1) / lay.SWL)
+	}
 }

@@ -31,6 +31,10 @@ const maxCachedPlaneElems = 16 << 20
 type CodePlanes struct {
 	mu      sync.Mutex
 	entries map[int]*codePlaneEntry
+	// masks caches the slice-mask planes DOF-mode phase 1 derives from
+	// the code planes (see maskplane.go), under the same mutex and the
+	// same build-once discipline.
+	masks map[maskKey]*maskPlaneEntry
 }
 
 type codePlaneEntry struct {

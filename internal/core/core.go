@@ -53,7 +53,6 @@ import (
 	"sre/internal/quant"
 	"sre/internal/reram"
 	"sre/internal/tensor"
-	"sre/internal/xmath"
 )
 
 // Mode names a sparsity-exploitation configuration from the paper's
@@ -446,10 +445,17 @@ func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (Ne
 		}
 	}
 	publishPoolMetrics(cfg.Metrics, pool)
+	return reduceNetwork(layers, results), nil
+}
+
+// reduceNetwork folds per-layer results into the network total: layers
+// execute sequentially on the modelled hardware, except that a run of
+// layers sharing a non-empty ParallelGroup executes concurrently —
+// latency is the slowest member's, energy sums. Shared by the
+// single-input and batched network simulations.
+func reduceNetwork(layers []Layer, results []LayerResult) NetworkResult {
 	var out NetworkResult
 	for i := 0; i < len(layers); {
-		// A run of layers sharing a non-empty ParallelGroup executes
-		// concurrently: latency is the slowest member's; energy sums.
 		j := i + 1
 		if g := layers[i].ParallelGroup; g != "" {
 			for j < len(layers) && layers[j].ParallelGroup == g {
@@ -470,7 +476,7 @@ func SimulateNetworkContext(ctx context.Context, layers []Layer, cfg Config) (Ne
 		out.Time += maxTime
 		i = j
 	}
-	return out, nil
+	return out
 }
 
 // SimulateLayer runs one layer under cfg. It panics on the
@@ -533,7 +539,6 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			"core: layer %q: structure was built with a different geometry (layout %d/%d/%d, config %d/%d/%d)",
 			l.Name, lay.XbarRows, lay.SWL, lay.SBL, g.XbarRows, g.SWL, g.SBL)
 	}
-	adcBits := cfg.ADCBits()
 	cycleTime := cfg.CycleTime()
 	eCfg := cfg.Energy
 	// msh is this layer call's private metrics shard (nil when the run
@@ -544,9 +549,7 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 
 	windows := l.Acts.Windows()
 	sampled := SampledWindows(windows, cfg.MaxWindows)
-	scale := float64(windows) / float64(sampled)
 
-	reorders := cfg.Mode.Scheme != compress.Baseline
 	if cfg.Mode.Scheme == compress.OCC {
 		if cfg.Mode.DOF {
 			// Fig. 10: DOF over a column-compressed layout accumulates
@@ -617,34 +620,10 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			return LayerResult{}, err
 		}
 	default:
-		ps := st.PlanSetMetered(cfg.Mode.Scheme, cfg.IndexBits, compress.CacheMetrics{
-			Hits:   msh.Counter("sre_compress_plan_cache_hits_total"),
-			Misses: msh.Counter("sre_compress_plan_cache_misses_total"),
-			Builds: msh.Counter("sre_compress_plan_cache_builds_total"),
-		})
-		plans = ls.tilePlans(lay.RowBlocks, lay.ColBlocks)
-		for rb := 0; rb < lay.RowBlocks; rb++ {
-			if err := ctx.Err(); err != nil {
-				return LayerResult{}, err
-			}
-			tileRows := lay.TileRows(rb)
-			for cb := 0; cb < lay.ColBlocks; cb++ {
-				tp := &plans[rb][cb]
-				tp.plans = ps.Tile(rb, cb)
-				tp.staticOUs = tp.plans.OUs
-				tp.staticWL = tp.plans.RowCount
-				// ORC reorders inputs per column group, so every group
-				// issues its own batch fetch (paper §4.1, the Fig. 18
-				// eDRAM effect); input-order-preserving modes fetch the
-				// batch once. Each fetch reads the full batch's buffer
-				// lines — gather happens at the IR, not inside the eDRAM.
-				if cfg.Mode.Scheme == compress.ORC {
-					tp.fetchGroups = tp.plans.Groups
-				} else {
-					tp.fetchGroups = 1
-				}
-				tp.fetchBits = tileRows * cfg.Quant.ABits
-			}
+		var err error
+		plans, err = kernelTilePlans(ctx, l, cfg, ls, msh)
+		if err != nil {
+			return LayerResult{}, err
 		}
 	}
 
@@ -656,12 +635,27 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	// issues the same per-tile batch, so the phase is skipped entirely.
 	var work []batchWork // indexed [wi*nTiles + rb*ColBlocks + cb]
 	if cfg.Mode.DOF {
+		// Resolve the derived slice-mask plane (maskplane.go): when the
+		// code plane is cached, the per-window BuildSliceMasks sweep and
+		// its popcounts are shared across DOF modes and repeated runs
+		// the same way. nil (size bound, no code plane) falls back to
+		// per-window mask building.
+		var mp *maskPlane
+		if plane != nil {
+			mp = l.Codes.maskPlane(plane, lay, sampled, cfg.Quant.DACBits, spi, maskCacheMetrics{
+				hits:   msh.Counter("sre_core_mask_cache_hits_total"),
+				misses: msh.Counter("sre_core_mask_cache_misses_total"),
+				builds: msh.Counter("sre_core_mask_cache_builds_total"),
+				bytes:  msh.Counter("sre_core_mask_cache_bytes_total"),
+			})
+		}
 		if ls != nil {
 			work = ls.workSlots(sampled * nTiles)
 		} else {
 			work = make([]batchWork, sampled*nTiles)
 		}
-		phase1 := kernelPhase1(ctx, l, cfg, plans, work, sampled, windows, plane)
+		phase1 := kernelPhase1(ctx, l, cfg, plans, work, sampled, windows,
+			[]p1Input{{plane: plane, mp: mp, acts: l.Acts}})
 		if cfg.ScalarReference {
 			phase1 = scalarPhase1(ctx, l, cfg, plans, work, sampled, windows)
 		}
@@ -670,7 +664,7 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 			// rebalance freely: dynamic chunked sharding absorbs the
 			// skew of activation-dependent window costs. Result slots
 			// stay disjoint, so bit-identity is unaffected.
-			if err := pool.ForDynamic(ctx, sampled, dynChunk(sampled, pool.Workers()), phase1); err != nil {
+			if err := pool.ForDynamic(ctx, sampled, parallel.ChunkFor(sampled, pool.Workers()), phase1); err != nil {
 				return LayerResult{}, err
 			}
 		} else {
@@ -735,6 +729,64 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 
 	// Phase 3: serial reduction in fixed tile order — latency is the
 	// slowest tile; energy sums over tiles.
+	return phase3Reduce(l, cfg, plans, accs, windows, sampled, msh), nil
+}
+
+// kernelTilePlans resolves the memoized word-plane tile plans of a
+// non-OCC, non-scalar run into ls's plan grid — the row-compression
+// plans come from the Structure's (scheme, indexBits) memo; only the
+// mode-dependent fetch shape is derived here. Shared by the
+// single-input and batched layer engines.
+func kernelTilePlans(ctx context.Context, l Layer, cfg Config, ls *layerScratch, msh *metrics.Shard) ([][]tilePlan, error) {
+	lay := l.Struct.Layout
+	ps := l.Struct.PlanSetMetered(cfg.Mode.Scheme, cfg.IndexBits, compress.CacheMetrics{
+		Hits:   msh.Counter("sre_compress_plan_cache_hits_total"),
+		Misses: msh.Counter("sre_compress_plan_cache_misses_total"),
+		Builds: msh.Counter("sre_compress_plan_cache_builds_total"),
+	})
+	plans := ls.tilePlans(lay.RowBlocks, lay.ColBlocks)
+	for rb := 0; rb < lay.RowBlocks; rb++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tileRows := lay.TileRows(rb)
+		for cb := 0; cb < lay.ColBlocks; cb++ {
+			tp := &plans[rb][cb]
+			tp.plans = ps.Tile(rb, cb)
+			tp.staticOUs = tp.plans.OUs
+			tp.staticWL = tp.plans.RowCount
+			// ORC reorders inputs per column group, so every group
+			// issues its own batch fetch (paper §4.1, the Fig. 18
+			// eDRAM effect); input-order-preserving modes fetch the
+			// batch once. Each fetch reads the full batch's buffer
+			// lines — gather happens at the IR, not inside the eDRAM.
+			if cfg.Mode.Scheme == compress.ORC {
+				tp.fetchGroups = tp.plans.Groups
+			} else {
+				tp.fetchGroups = 1
+			}
+			tp.fetchBits = tileRows * cfg.Quant.ABits
+		}
+	}
+	return plans, nil
+}
+
+// phase3Reduce is the layer engine's serial phase-3 reduction over one
+// input's tile accumulators, in fixed (row, column) tile order — the
+// same float-accumulation order as the serial simulator. Latency is
+// the slowest tile's scaled schedule; energy sums over tiles. Shared
+// by the single-input and batched layer engines (a batched layer
+// reduces each input's accumulator stripe independently, in input
+// order, so every input sees exactly the single-run order).
+func phase3Reduce(l Layer, cfg Config, plans [][]tilePlan, accs []tileAcc, windows, sampled int, msh *metrics.Shard) LayerResult {
+	lay := l.Struct.Layout
+	g := cfg.Geometry
+	adcBits := cfg.ADCBits()
+	cycleTime := cfg.CycleTime()
+	eCfg := cfg.Energy
+	spi := cfg.Quant.SlicesPerInput()
+	scale := float64(windows) / float64(sampled)
+	reorders := cfg.Mode.Scheme != compress.Baseline
 	res := LayerResult{Name: l.Name, Windows: windows, Sampled: sampled}
 	ouBase := eCfg.OUBaseEnergy(g.SBL, adcBits)
 	wlE := eCfg.WordlineEnergy(adcBits)
@@ -786,40 +838,33 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 		msh.Counter(fmt.Sprintf("sre_core_layer_cycles_total{mode=%q}", mode)).Add(res.Cycles)
 		msh.Counter(fmt.Sprintf("sre_core_stall_cycles_total{mode=%q}", mode)).Add(res.Stalls)
 	}
-	return res, nil
+	return res
 }
 
-// dynChunk sizes the dynamic-sharding chunk for n windows over w
-// workers: ~8 chunks per worker leaves slack for stealing when window
-// costs skew, clamped to [1, 32] so a chunk neither degenerates to
-// per-index contention nor starves the steal.
-func dynChunk(n, workers int) int {
-	if workers < 1 {
-		workers = 1
-	}
-	c := (n + 8*workers - 1) / (8 * workers)
-	if c < 1 {
-		c = 1
-	}
-	if c > 32 {
-		c = 32
-	}
-	return c
+// p1Input is one activation input's phase-1 view. Exactly one of the
+// derivation tiers is used per window: the cached slice-mask plane
+// (mp), the cached code plane (plane), or a per-worker clone of the
+// source (acts). Single-input simulations pass one of these; batched
+// multi-activation sweeps pass one per coalesced input.
+type p1Input struct {
+	plane []uint32
+	mp    *maskPlane
+	acts  ActivationSource
 }
 
-// kernelPhase1 returns the word-plane phase-1 shard body: for each
-// window in the shard it derives all activation bit-slice masks in one
-// sweep (bitset.BuildSliceMasks), then counts every column group's
+// kernelPhase1 returns the word-plane phase-1 shard body over the
+// flattened (input, window) index space (idx = input·sampled+window;
+// single-input runs pass one input, so idx degenerates to the window
+// index). For each window it derives all activation bit-slice masks in
+// one sweep (bitset.BuildSliceMasks) — or reads them straight from the
+// input's cached mask plane — then counts every column group's
 // retained-row intersection with one fused pass per slice over the
 // tile's cached word plane (bitset.CountAndPlanes). Scratch comes from
 // the phase-1 arena (checked out per shard or dynamic chunk) and every
 // result lands in a disjoint work slot, so the phase stays
-// bit-identical at any worker count. When the layer's code plane is
-// resolved, window codes are sliced straight out of it — no source
-// clone, no copy; otherwise each body reads its own source clone as
-// before.
+// bit-identical at any worker count.
 func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
-	work []batchWork, sampled, windows int, plane []uint32) func(start, end int) {
+	work []batchWork, sampled, windows int, inputs []p1Input) func(start, end int) {
 	lay := l.Struct.Layout
 	g := cfg.Geometry
 	spi := cfg.Quant.SlicesPerInput()
@@ -828,15 +873,16 @@ func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 	return func(start, end int) {
 		scr := getP1Scratch(lay, spi, cfg.Metrics)
 		defer scr.release()
+		// Source clones are established lazily per input as the shard
+		// crosses input boundaries (at most once per boundary per chunk).
 		var acts ActivationSource
-		if plane == nil {
-			acts = cloneSource(l.Acts)
-		}
+		actsInput := -1
 		codes := scr.codes
 		masks := scr.masks
 		nonEmpty := scr.nonEmpty
 		counts := scr.counts
 		sliceNZ := scr.sliceNZ
+		ouTab := scr.ouTab
 		// Worker-private occupancy histogram (nil when unmetered: the
 		// whole recording block is skipped by one branch per group, and
 		// the name is never even formatted).
@@ -844,63 +890,90 @@ func kernelPhase1(ctx context.Context, l Layer, cfg Config, plans [][]tilePlan,
 		if cfg.Metrics != nil {
 			occ = scr.shard(cfg.Metrics).Histogram(occName(cfg.Mode), occupancyBounds)
 		}
-		for wi := start; wi < end; wi++ {
+		for idx := start; idx < end; idx++ {
 			if ctx.Err() != nil {
 				return
 			}
-			if plane != nil {
-				codes = plane[wi*lay.Rows : (wi+1)*lay.Rows]
-			} else {
-				acts.WindowCodes(wi*windows/sampled, codes)
-			}
-			for rb := 0; rb < lay.RowBlocks; rb++ {
-				lo := rb * g.XbarRows
-				hi := lo + lay.TileRows(rb)
-				nonEmpty[rb] = bitset.BuildSliceMasks(codes[lo:hi], cfg.Quant.DACBits, masks[rb])
-				if baseline {
-					for s := 0; s < spi; s++ {
-						nz := 0
-						if s >= 64 || nonEmpty[rb]&(1<<uint(s)) != 0 {
-							nz = bitset.CountWords(masks[rb][s])
+			ji, wi := idx/sampled, idx%sampled
+			in := &inputs[ji]
+			mp := in.mp
+			if mp == nil {
+				// No cached masks: derive them from the codes (cached
+				// plane or source read) into this worker's scratch.
+				if in.plane != nil {
+					codes = in.plane[wi*lay.Rows : (wi+1)*lay.Rows]
+				} else {
+					if actsInput != ji {
+						acts, actsInput = cloneSource(in.acts), ji
+					}
+					codes = scr.codes
+					acts.WindowCodes(wi*windows/sampled, codes)
+				}
+				for rb := 0; rb < lay.RowBlocks; rb++ {
+					lo := rb * g.XbarRows
+					hi := lo + lay.TileRows(rb)
+					nonEmpty[rb] = bitset.BuildSliceMasks(codes[lo:hi], cfg.Quant.DACBits, masks[rb])
+					if baseline {
+						for s := 0; s < spi; s++ {
+							nz := 0
+							if s >= 64 || nonEmpty[rb]&(1<<uint(s)) != 0 {
+								nz = bitset.CountWords(masks[rb][s])
+							}
+							sliceNZ[rb*spi+s] = nz
 						}
-						sliceNZ[rb*spi+s] = nz
 					}
 				}
 			}
 			for rb := range plans {
+				ne := nonEmpty[rb]
+				mbase, tw := 0, 0
+				if mp != nil {
+					mbase = (wi*lay.RowBlocks + rb) * spi
+					ne = mp.nonEmpty[wi*lay.RowBlocks+rb]
+					tw = bitset.Words64(lay.TileRows(rb))
+				}
 				for cb := range plans[rb] {
 					tp := &plans[rb][cb]
 					var batchOUs, batchWL int64
 					for s := 0; s < spi; s++ {
-						if s < 64 && nonEmpty[rb]&(1<<uint(s)) == 0 {
+						if s < 64 && ne&(1<<uint(s)) == 0 {
 							continue
 						}
 						if baseline {
-							nz := sliceNZ[rb*spi+s]
+							var nz int
+							if mp != nil {
+								nz = int(mp.sliceNZ[mbase+s])
+							} else {
+								nz = sliceNZ[rb*spi+s]
+							}
 							if nz == 0 {
 								continue
 							}
-							batchOUs += int64(xmath.CeilDiv(nz, g.SWL)) * int64(tp.plans.Groups)
+							batchOUs += int64(ouTab[nz]) * int64(tp.plans.Groups)
 							batchWL += int64(nz) * int64(tp.plans.Groups)
 							if occ != nil {
 								observeOccupancy(occ, nz, g.SWL, int64(tp.plans.Groups))
 							}
 							continue
 						}
+						m := masks[rb][s]
+						if mp != nil {
+							m = mp.mask(mbase+s, tw)
+						}
 						cnt := counts[:tp.plans.Groups]
-						bitset.CountAndPlanes(masks[rb][s], tp.plans.Plane, cnt)
+						bitset.CountAndPlanes(m, tp.plans.Plane, cnt)
 						for _, nz := range cnt {
 							if nz == 0 {
 								continue
 							}
-							batchOUs += int64(xmath.CeilDiv(nz, g.SWL))
+							batchOUs += int64(ouTab[nz])
 							batchWL += int64(nz)
 							if occ != nil {
 								observeOccupancy(occ, nz, g.SWL, 1)
 							}
 						}
 					}
-					work[wi*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}
+					work[idx*nTiles+rb*lay.ColBlocks+cb] = batchWork{batchOUs, batchWL}
 				}
 			}
 		}

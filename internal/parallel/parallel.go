@@ -252,3 +252,21 @@ spawn:
 	wg.Wait()
 	return ctx.Err()
 }
+
+// ChunkFor sizes a ForDynamic chunk for n items over the given worker
+// count: ~8 chunks per worker leaves slack for stealing when per-item
+// costs skew, clamped to [1, 32] so a chunk neither degenerates to
+// per-index cursor contention nor starves the steal.
+func ChunkFor(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	c := (n + 8*workers - 1) / (8 * workers)
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return c
+}

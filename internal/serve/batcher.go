@@ -2,10 +2,15 @@
 // requests agree on a BatchKey when they target the same resident
 // network with the same result-affecting run options; the batcher
 // holds the first such request for a short coalescing window, merges
-// the mode sets of every request that arrives meanwhile, runs the
-// union as a single RunModesContext sweep (one pass over the shared
-// window-code planes and plan caches instead of one per request), and
-// fans the per-mode results back out to each waiter.
+// the mode sets — and the activation seeds — of every request that
+// arrives meanwhile, runs the union as a single sweep (one pass over
+// the shared window-code planes and plan caches instead of one per
+// request), and fans the per-(seed, mode) results back out to each
+// waiter. Requests that differ only in their activation seed still
+// coalesce: the union runs as one batched multi-activation sweep
+// (sre.RunBatchContext), which shares all activation-independent work
+// across the seeds, so the sweep is sub-linear in the number of
+// distinct seeds.
 //
 // Deadlines: each waiter gives up individually when its own context
 // ends — a 504 for that request only. The sweep itself is cancelled
@@ -26,7 +31,10 @@ import (
 
 // BatchKey groups requests that may share one sweep: the resident
 // network plus every run option that changes results. (Worker width
-// and the code cache do not — results are bit-identical either way.)
+// and the code cache do not — results are bit-identical either way.
+// The activation seed changes results but deliberately stays out of
+// the key: differing seeds coalesce into one batched multi-activation
+// sweep and fan back out per seed.)
 type BatchKey struct {
 	Key        Key
 	MaxWindows int
@@ -52,19 +60,21 @@ type Batcher struct {
 
 type batch struct {
 	modes   []sre.Mode // union, first-seen order
+	acts    []uint64   // distinct activation seeds, first-seen order
 	waiters []*waiter
 }
 
 type waiter struct {
-	ctx   context.Context
-	modes []sre.Mode
-	ch    chan batchResult // buffered; delivery never blocks the sweep
+	ctx     context.Context
+	modes   []sre.Mode
+	actSeed uint64
+	ch      chan batchResult // buffered; delivery never blocks the sweep
 }
 
 type batchResult struct {
-	byMode map[sre.Mode]sre.Result
-	size   int // how many requests shared the sweep
-	err    error
+	byAct map[uint64]map[sre.Mode]sre.Result
+	size  int // how many requests shared the sweep
+	err   error
 }
 
 // NewBatcher returns a batcher executing against registry under
@@ -89,11 +99,12 @@ func NewBatcher(registry *Registry, budget *Budget, window time.Duration,
 	}
 }
 
-// Do submits one request (key + the modes it wants) and blocks until
-// its results arrive or ctx ends. Returns the results in the order
-// modes was given, plus how many requests shared the sweep.
-func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode) ([]sre.Result, int, error) {
-	w := &waiter{ctx: ctx, modes: modes, ch: make(chan batchResult, 1)}
+// Do submits one request (key + the modes it wants + its activation
+// seed, 0 = the network's own activations) and blocks until its
+// results arrive or ctx ends. Returns the results in the order modes
+// was given, plus how many requests shared the sweep.
+func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode, actSeed uint64) ([]sre.Result, int, error) {
+	w := &waiter{ctx: ctx, modes: modes, actSeed: actSeed, ch: make(chan batchResult, 1)}
 
 	b.mu.Lock()
 	bt, ok := b.pending[key]
@@ -112,6 +123,9 @@ func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode) ([]sre
 			bt.modes = append(bt.modes, m)
 		}
 	}
+	if !containsSeed(bt.acts, actSeed) {
+		bt.acts = append(bt.acts, actSeed)
+	}
 	b.mu.Unlock()
 	if b.window <= 0 {
 		go b.run(key)
@@ -124,7 +138,7 @@ func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode) ([]sre
 		}
 		out := make([]sre.Result, len(modes))
 		for i, m := range modes {
-			out[i] = res.byMode[m]
+			out[i] = res.byAct[actSeed][m]
 		}
 		return out, res.size, nil
 	case <-ctx.Done():
@@ -186,25 +200,61 @@ func (b *Batcher) run(key BatchKey) {
 		sre.WithIndexBits(key.IndexBits),
 		sre.WithWorkers(b.workers),
 	}, b.opts...)
-	results, err := net.RunModesContext(runCtx, bt.modes, opts...)
+	byAct := make(map[uint64]map[sre.Mode]sre.Result, len(bt.acts))
+	if len(bt.acts) == 1 && bt.acts[0] == 0 {
+		// Every waiter wants the network's own activations: the plain
+		// mode sweep (the historical path, byte-identical responses).
+		results, err := net.RunModesContext(runCtx, bt.modes, opts...)
+		if err != nil {
+			deliver(batchResult{err: err})
+			return
+		}
+		byMode := make(map[sre.Mode]sre.Result, len(results))
+		for _, r := range results {
+			// Strip the sweep-wide metrics snapshot: responses must be
+			// bit-identical to a direct run, and /metrics serves the
+			// aggregate view.
+			r.Metrics = nil
+			byMode[r.Mode] = r
+		}
+		byAct[0] = byMode
+		deliver(batchResult{byAct: byAct})
+		return
+	}
+	// Waiters differ (only) in their activation seed: run the union as
+	// one batched multi-activation sweep and fan out per (seed, mode).
+	sets := make([]sre.ActivationSet, len(bt.acts))
+	for i, seed := range bt.acts {
+		sets[i] = sre.ActivationSet{ActSeed: seed}
+	}
+	grid, err := net.RunBatchContext(runCtx, bt.modes, sets, opts...)
 	if err != nil {
 		deliver(batchResult{err: err})
 		return
 	}
-	byMode := make(map[sre.Mode]sre.Result, len(results))
-	for _, r := range results {
-		// Strip the sweep-wide metrics snapshot: responses must be
-		// bit-identical to a direct run, and /metrics serves the
-		// aggregate view.
-		r.Metrics = nil
-		byMode[r.Mode] = r
+	for i, seed := range bt.acts {
+		byMode := make(map[sre.Mode]sre.Result, len(grid[i]))
+		for _, r := range grid[i] {
+			r.Metrics = nil
+			byMode[r.Mode] = r
+		}
+		byAct[seed] = byMode
 	}
-	deliver(batchResult{byMode: byMode})
+	deliver(batchResult{byAct: byAct})
 }
 
 func containsMode(ms []sre.Mode, m sre.Mode) bool {
 	for _, x := range ms {
 		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSeed(ss []uint64, s uint64) bool {
+	for _, x := range ss {
+		if x == s {
 			return true
 		}
 	}

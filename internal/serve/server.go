@@ -165,6 +165,11 @@ type SimulateRequest struct {
 	Modes []string `json:"modes,omitempty"`
 	// Config overrides individual fields of the default design point.
 	Config ConfigOverrides `json:"config"`
+	// ActSeed, when non-zero, re-derives the network's activations from
+	// this seed (same statistics, independent random stream; weights
+	// and compression structures unchanged). Requests that differ only
+	// in act_seed coalesce into one batched multi-activation sweep.
+	ActSeed uint64 `json:"act_seed,omitempty"`
 	// TimeoutMillis is the per-request deadline; 0 means the server
 	// default. The deadline propagates into the simulation via context
 	// cancellation; an expired request gets 504.
@@ -296,7 +301,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	results, size, err := s.batcher.Do(ctx, batchKey, modes)
+	results, size, err := s.batcher.Do(ctx, batchKey, modes, req.ActSeed)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Inc()

@@ -426,3 +426,78 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d %q", resp.StatusCode, b)
 	}
 }
+
+// TestActSeedCoalescing is the serving half of the batched
+// multi-activation tentpole: requests that differ only in act_seed
+// must coalesce into ONE sweep (one batched RunBatchContext under the
+// hood), and each requester's results must be bit-identical to the
+// same request swept alone — including the act_seed 0 requester, whose
+// solo path is the historical RunModesContext sweep.
+func TestActSeedCoalescing(t *testing.T) {
+	reqBody := func(seed uint64) string {
+		return fmt.Sprintf(
+			`{"network":"MNIST","modes":["dof","orc+dof","baseline"],"config":{"max_windows":6},"act_seed":%d}`,
+			seed)
+	}
+	seeds := []uint64{0, 41, 42}
+
+	// Solo references: coalescing disabled, every request sweeps alone.
+	solo := NewServer(Options{BatchWindow: -1})
+	tsSolo := httptest.NewServer(solo)
+	defer tsSolo.Close()
+	want := make([]SimulateResponse, len(seeds))
+	for i, s := range seeds {
+		status, body := postSimulate(t, tsSolo.URL, reqBody(s))
+		if status != http.StatusOK {
+			t.Fatalf("solo seed %d: status %d: %s", s, status, body)
+		}
+		want[i] = decodeSimulate(t, body)
+	}
+	if reflect.DeepEqual(want[0].Results, want[1].Results) {
+		t.Fatal("act_seed had no effect on solo results")
+	}
+
+	// Concurrent requests inside one window, differing only in act_seed.
+	srv := NewServer(Options{BatchWindow: 200 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var wg sync.WaitGroup
+	got := make([]SimulateResponse, len(seeds))
+	for i, s := range seeds {
+		wg.Add(1)
+		go func(i int, s uint64) {
+			defer wg.Done()
+			status, body := postSimulate(t, ts.URL, reqBody(s))
+			if status != http.StatusOK {
+				t.Errorf("batched seed %d: status %d: %s", s, status, body)
+				return
+			}
+			got[i] = decodeSimulate(t, body)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, s := range seeds {
+		if got[i].BatchSize != len(seeds) {
+			t.Errorf("seed %d: batch_size = %d, want %d", s, got[i].BatchSize, len(seeds))
+		}
+		if !reflect.DeepEqual(got[i].Results, want[i].Results) {
+			t.Errorf("seed %d: coalesced results differ from solo sweep", s)
+		}
+	}
+
+	// The batcher agrees it ran exactly one sweep for the three.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	vals := parseProm(t, b)
+	if vals["sre_serve_sweeps_total"] != 1 {
+		t.Errorf("sre_serve_sweeps_total = %v, want 1", vals["sre_serve_sweeps_total"])
+	}
+	if vals["sre_serve_coalesced_requests_total"] != 2 {
+		t.Errorf("sre_serve_coalesced_requests_total = %v, want 2",
+			vals["sre_serve_coalesced_requests_total"])
+	}
+}

@@ -288,6 +288,31 @@ func (s Spec) Build(mode PruneMode, p quant.Params, g mapping.Geometry, seed uin
 	return b, nil
 }
 
+// VariantSources returns one activation source per layer, re-deriving
+// every synthetic source's per-layer RNG stream from actSeed exactly
+// as Build derives it from the build seed: xrand.Split is a pure
+// function of (parent state, label), so the per-layer seed depends
+// only on (actSeed, spec name, layer path) — no weight regeneration,
+// no ordering sensitivity. actSeed equal to the build seed reproduces
+// the built-in sources bit-identically; layers whose source is not a
+// *SyntheticActs keep their own source. The batched multi-activation
+// sweep (sre.RunBatchContext) is the consumer.
+func (s Spec) VariantSources(layers []core.Layer, actSeed uint64) []core.ActivationSource {
+	root := xrand.New(actSeed).Split("workload/" + s.Name)
+	out := make([]core.ActivationSource, len(layers))
+	for i := range layers {
+		sa, ok := layers[i].Acts.(*SyntheticActs)
+		if !ok {
+			out[i] = layers[i].Acts
+			continue
+		}
+		v := *sa
+		v.Seed = root.Split("a/" + layers[i].Name).Uint64()
+		out[i] = &v
+	}
+	return out
+}
+
 // pruneSpecs returns the zero-structure passes for a layer under a prune
 // mode; passes compose (zeros union), which lets SSL mix several segment
 // granularities: narrow (2-logical-column ≈ one OU group) segments that

@@ -859,6 +859,144 @@ func (n *Network) RunModesContext(ctx context.Context, modes []Mode, opts ...Opt
 	return out, nil
 }
 
+// ActivationSet selects one activation assignment of a batched run
+// (RunBatchContext). The zero value selects the network's built-in
+// activations.
+type ActivationSet struct {
+	// ActSeed, when non-zero and different from the network's build
+	// seed, re-derives every layer's synthetic activations from this
+	// seed: same statistics (sparsity, octaves, window counts), an
+	// independent random stream — weights, pruning, and the compression
+	// structures are untouched. Zero, or the build seed itself, selects
+	// the network's own activations.
+	ActSeed uint64
+}
+
+// RunBatch is RunBatchContext with a background context.
+func (n *Network) RunBatch(modes []Mode, acts []ActivationSet, opts ...Option) ([][]Result, error) {
+	return n.RunBatchContext(context.Background(), modes, acts, opts...)
+}
+
+// RunBatchContext simulates the given modes once per activation set as
+// one batched multi-activation sweep and returns results indexed
+// [set][mode]. Each Result is bit-identical to the same mode run alone
+// over this network with that set's activations substituted; the batch
+// shares everything activation-independent across sets — compression
+// plans, window-code and slice-mask planes, scratch arenas, and (for
+// the static modes, which never read activation values) the entire
+// simulation — so a coalesced sweep is sub-linear in the number of
+// sets. Modes run concurrently through one shared worker pool, exactly
+// as RunModesContext. Per-run options follow RunContext's rules;
+// WithProgress is not invoked on the batched path. It is the primitive
+// sreserved's micro-batcher uses to serve coalesced requests that
+// differ only in their activation seed.
+func (n *Network) RunBatchContext(ctx context.Context, modes []Mode, acts []ActivationSet, opts ...Option) ([][]Result, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("sre: RunBatchContext needs at least one mode")
+	}
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("sre: RunBatchContext needs at least one activation set")
+	}
+	s, err := n.runSettings(opts)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]core.BatchInput, len(acts))
+	for j, a := range acts {
+		if a.ActSeed != 0 && a.ActSeed != n.cfg.Seed {
+			batch[j].Sources = n.spec.VariantSources(n.built.Layers, a.ActSeed)
+		}
+	}
+	pool := parallel.New(s.cfg.Workers)
+	out := make([][]Result, len(acts))
+	for j := range out {
+		out[j] = make([]Result, len(modes))
+	}
+	errs := make([]error, len(modes))
+	poolErr := pool.For(ctx, len(modes), func(start, end int) {
+		for i := start; i < end; i++ {
+			errs[i] = n.runBatchMode(ctx, modes[i], pool, s, batch, out, i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	if s.metrics != nil {
+		// As in RunModesContext: re-snapshot once every mode is done so
+		// all results agree on the sweep-wide totals.
+		snap := s.metrics.Snapshot()
+		for j := range out {
+			for i := range out[j] {
+				out[j][i].Metrics = snap
+			}
+		}
+	}
+	return out, nil
+}
+
+// runBatchMode runs one mode of a batched sweep and fills column mi of
+// the [set][mode] result grid.
+func (n *Network) runBatchMode(ctx context.Context, mode Mode, pool *parallel.Pool,
+	s settings, batch []core.BatchInput, out [][]Result, mi int) error {
+	cm, err := mode.coreMode()
+	if err != nil {
+		return err
+	}
+	indexBits := n.indexBitsFor(s.cfg)
+	cfg := core.Config{
+		Geometry:    n.cfg.geometry(),
+		Quant:       n.cfg.params(),
+		Mode:        cm,
+		IndexBits:   indexBits,
+		MaxWindows:  s.cfg.MaxWindows,
+		Workers:     s.cfg.Workers,
+		Pool:        pool,
+		Energy:      energy.Default(),
+		NoC:         noc.Default(),
+		Metrics:     s.metrics,
+		NoCodeCache: s.noCodeCache,
+	}
+	ress, err := core.SimulateNetworkBatchContext(ctx, n.built.Layers, cfg, batch)
+	if err != nil {
+		return err
+	}
+	// The mode's compression ratio and index storage depend only on the
+	// weight scheme: compute once, replicate across sets.
+	var totalCells, compCells, storage int64
+	for _, l := range n.built.Layers {
+		totalCells += l.Struct.Layout.TotalCells()
+		compCells += l.Struct.CompressedCells(cm.Scheme, indexBits)
+		storage += l.Struct.IndexStorageBits(cm.Scheme, indexBits)
+	}
+	for j, res := range ress {
+		r := Result{
+			Version: ResultVersion,
+			Network: n.name,
+			Mode:    mode,
+			Cycles:  res.Cycles,
+			Seconds: res.Time,
+			Energy:  Breakdown(res.Energy),
+		}
+		for _, lr := range res.Layers {
+			r.Layers = append(r.Layers, LayerResult{
+				Name: lr.Name, Cycles: lr.Cycles, Seconds: lr.Time,
+				Energy: Breakdown(lr.Energy),
+			})
+		}
+		if compCells > 0 {
+			r.CompressionRatio = float64(totalCells) / float64(compCells)
+		}
+		r.IndexStorageBits = storage
+		out[j][mi] = r
+	}
+	return nil
+}
+
 // ResultsByMode keys a RunAll result slice by mode.
 func ResultsByMode(results []Result) map[Mode]Result {
 	out := make(map[Mode]Result, len(results))

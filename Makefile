@@ -30,7 +30,7 @@ BENCH_COUNT ?= 1
 BENCH_PATTERN = BenchmarkSimulateLayer|BenchmarkVGG16Sweep|BenchmarkBatchedSweep
 BENCH_PATTERN_BITSET = BenchmarkCountWords|BenchmarkCountAndPlanes|BenchmarkBuildSliceMasks
 
-.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart snapshot-roundtrip results profile clean
+.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart bench-load snapshot-roundtrip results profile clean
 
 all: verify
 
@@ -55,11 +55,14 @@ bench-smoke:
 # benchmark smoke run.
 verify: vet build race bench-smoke
 
-# smoke boots the sreserved daemon for real: health check, one simulate
-# round-trip, a /metrics scrape, then SIGTERM and a clean-drain exit.
+# smoke boots the sreserved daemon for real: health check, a simulate
+# round-trip plus its cached repeat (bit-identical, no second sweep), a
+# /metrics scrape, a small sreload run, then SIGTERM and a clean-drain
+# exit.
 smoke:
 	$(GO) build -o bin/sreserved ./cmd/sreserved
-	./scripts/smoke_sreserved.sh ./bin/sreserved
+	$(GO) build -o bin/sreload ./cmd/sreload
+	./scripts/smoke_sreserved.sh ./bin/sreserved ./bin/sreload
 
 # bench runs the simulator hot-path benchmarks (per-mode kernel vs
 # scalar reference, the six-mode VGG-16 sweep, the batched
@@ -116,6 +119,18 @@ bench-coldstart:
 	$(GO) test -run=NONE -bench 'BenchmarkColdStart' \
 		-benchmem -benchtime 2x . | ./bin/benchjson -out BENCH_PR6.json
 
+# bench-load records the serving SLO numbers: sreload replays a skewed
+# repeated-key workload against sreserved with the result cache off,
+# then on, into $(BENCH_LOAD_OUT) — p50/p99/throughput/hit-rate per
+# run, with the >=10x p99 acceptance ratio printed at the end. Knobs
+# (REQUESTS, CLIENTS, KEYS, SEEDS, HOT, MAXWIN, MODES, SWEEPS) pass
+# through the environment.
+BENCH_LOAD_OUT ?= BENCH_PR8.json
+bench-load:
+	$(GO) build -o bin/sreserved ./cmd/sreserved
+	$(GO) build -o bin/sreload ./cmd/sreload
+	./scripts/bench_load.sh ./bin/sreserved ./bin/sreload $(BENCH_LOAD_OUT)
+
 # snapshot-roundtrip drives the artifact format end to end through the
 # CLI: build + persist, reload from the snapshot dir, diff the outputs.
 snapshot-roundtrip:
@@ -139,4 +154,4 @@ profile:
 
 clean:
 	$(GO) clean ./...
-	rm -f bin/benchjson bin/srebench cpu.pprof mem.pprof
+	rm -f bin/benchjson bin/srebench bin/sreserved bin/sreload bin/sresim cpu.pprof mem.pprof

@@ -40,25 +40,35 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8344", "listen address")
-		queue     = flag.Int("queue", 64, "max admitted (queued + running) requests")
-		sweeps    = flag.Int("sweeps", 2, "max concurrent simulation sweeps")
-		batchWin  = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window (negative disables)")
-		grace     = flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+		addr     = flag.String("addr", "127.0.0.1:8344", "listen address")
+		queue    = flag.Int("queue", 64, "max admitted (queued + running) requests")
+		sweeps   = flag.Int("sweeps", 2, "max concurrent simulation sweeps")
+		batchWin = flag.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window (negative disables)")
+		grace    = flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT")
+		cacheCap = cli.AddByteSize(flag.CommandLine, "result-cache-bytes", 256<<20,
+			"deterministic result cache capacity (e.g. 64MiB; 0 disables)")
+		regCap = cli.AddByteSize(flag.CommandLine, "registry-bytes", 0,
+			"resident-network registry capacity (e.g. 2GiB; 0 = unbounded)")
 		workers   = cli.AddWorkers(flag.CommandLine)
 		snapDir   = cli.AddSnapshotDir(flag.CommandLine)
 		metricsFl = cli.AddMetrics(flag.CommandLine)
 	)
 	flag.Parse()
 
+	resultCache := cacheCap.Int64()
+	if resultCache <= 0 {
+		resultCache = -1 // Options: 0 means "default", negative disables
+	}
 	reg := metrics.NewRegistry()
 	srv := serve.NewServer(serve.Options{
-		MaxQueue:    *queue,
-		MaxSweeps:   *sweeps,
-		BatchWindow: *batchWin,
-		Workers:     *workers,
-		Metrics:     reg,
-		SnapshotDir: *snapDir,
+		MaxQueue:         *queue,
+		MaxSweeps:        *sweeps,
+		BatchWindow:      *batchWin,
+		Workers:          *workers,
+		Metrics:          reg,
+		SnapshotDir:      *snapDir,
+		ResultCacheBytes: resultCache,
+		RegistryBytes:    regCap.Int64(),
 	})
 	httpSrv := &http.Server{Handler: srv}
 

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"sre/internal/metrics"
 )
@@ -29,6 +31,75 @@ func AddCodeCache(fs *flag.FlagSet) *bool {
 func AddSnapshotDir(fs *flag.FlagSet) *string {
 	return fs.String("snapshot-dir", "",
 		"consult (and populate) this directory of built-network snapshots instead of always building")
+}
+
+// ByteSize is a flag.Value holding a byte count. It parses a plain
+// integer (bytes) or an integer with a binary suffix — KiB, MiB, GiB
+// (or the short forms K, M, G, and B for bytes), case-insensitive —
+// so capacity flags read as "-result-cache-bytes 64MiB" rather than a
+// raw digit string. Negative values pass through for flags that use
+// them to mean "disabled".
+type ByteSize int64
+
+// byteSuffixes in longest-match-first order; short forms follow the
+// canonical binary spellings so "64M" and "64MiB" agree.
+var byteSuffixes = []struct {
+	suffix string
+	mult   int64
+}{
+	{"GIB", 1 << 30}, {"MIB", 1 << 20}, {"KIB", 1 << 10},
+	{"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10}, {"B", 1},
+}
+
+// ParseByteSize parses s as a byte count per the ByteSize grammar.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	num, mult := t, int64(1)
+	upper := strings.ToUpper(t)
+	for _, sfx := range byteSuffixes {
+		if strings.HasSuffix(upper, sfx.suffix) {
+			num = strings.TrimSpace(t[:len(t)-len(sfx.suffix)])
+			mult = sfx.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 1048576, 64MiB, 2GiB)", s)
+	}
+	return n * mult, nil
+}
+
+func (b *ByteSize) Set(s string) error {
+	n, err := ParseByteSize(s)
+	if err != nil {
+		return err
+	}
+	*b = ByteSize(n)
+	return nil
+}
+
+func (b *ByteSize) String() string {
+	v := int64(*b)
+	switch {
+	case v != 0 && v%(1<<30) == 0:
+		return strconv.FormatInt(v>>30, 10) + "GiB"
+	case v != 0 && v%(1<<20) == 0:
+		return strconv.FormatInt(v>>20, 10) + "MiB"
+	case v != 0 && v%(1<<10) == 0:
+		return strconv.FormatInt(v>>10, 10) + "KiB"
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// Int64 returns the byte count.
+func (b *ByteSize) Int64() int64 { return int64(*b) }
+
+// AddByteSize registers a byte-size flag on fs and returns its value.
+func AddByteSize(fs *flag.FlagSet, name string, def int64, usage string) *ByteSize {
+	b := ByteSize(def)
+	fs.Var(&b, name, usage)
+	return &b
 }
 
 // MetricsFlags is the parsed -metrics/-metrics-format pair.

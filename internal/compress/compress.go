@@ -442,6 +442,24 @@ func (s *Structure) IndexStorageBits(scheme Scheme, indexBits int) int64 {
 	return s.planStatsFor(scheme, indexBits).storage
 }
 
+// SizeBytes estimates the structure's resident memory: the per-group
+// non-zero-row masks (the dominant owned allocation — exactly the words
+// the snapshot plane persists) plus per-group bitset headers and a
+// fixed bookkeeping constant. The derived plan/stat memos are not
+// walked; they are bounded by the same group geometry and fold into the
+// constant. The serve-layer registry uses this estimate for its
+// byte-bounded LRU accounting, so it only needs to order networks by
+// footprint, not be exact.
+func (s *Structure) SizeBytes() int64 {
+	lay := s.Layout
+	groupsPerRow := 0
+	for cb := 0; cb < lay.ColBlocks; cb++ {
+		groupsPerRow += lay.GroupsInTile(cb)
+	}
+	groups := int64(groupsPerRow) * int64(lay.RowBlocks)
+	return int64(s.PlaneWords())*8 + groups*48 + 512
+}
+
 // AbsoluteIndexBits returns the storage needed if absolute (non-delta)
 // indexes were kept instead — the ~4 MB comparison point the paper gives
 // for ResNet-50 (§7.2).

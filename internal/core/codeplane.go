@@ -11,6 +11,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"sre/internal/metrics"
 )
@@ -35,6 +36,21 @@ type CodePlanes struct {
 	// the code planes (see maskplane.go), under the same mutex and the
 	// same build-once discipline.
 	masks map[maskKey]*maskPlaneEntry
+	// resident tracks the bytes of every plane built or seeded so far
+	// (code planes and derived slice-mask planes), so a holder can
+	// account the cache's memory without racing the lazy builds.
+	resident atomic.Int64
+}
+
+// ResidentBytes returns the bytes of all planes currently cached —
+// window-code planes plus derived slice-mask planes. It grows as runs
+// lazily build planes and never shrinks; the serve-layer registry folds
+// it into its per-network size estimate.
+func (c *CodePlanes) ResidentBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.resident.Load()
 }
 
 type codePlaneEntry struct {
@@ -93,7 +109,10 @@ func (c *CodePlanes) Seed(sampled, rows int, plane []uint32) {
 		c.entries[sampled] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.plane = plane })
+	e.once.Do(func() {
+		e.plane = plane
+		c.resident.Add(int64(len(plane)) * 4)
+	})
 }
 
 // plane returns the cached [sampled][rows] code plane, building it on
@@ -127,6 +146,7 @@ func (c *CodePlanes) plane(src ActivationSource, rows, sampled, windows int, m c
 		}
 		e.plane = p
 		m.bytes.Add(int64(len(p)) * 4)
+		c.resident.Add(int64(len(p)) * 4)
 	})
 	return e.plane
 }

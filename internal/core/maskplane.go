@@ -130,7 +130,9 @@ func (c *CodePlanes) maskPlane(plane []uint32, lay mapping.Layout, sampled, dacB
 			}
 		}
 		e.mp = mp
-		m.bytes.Add(int64(len(mp.words))*8 + int64(len(mp.nonEmpty))*8 + int64(len(mp.sliceNZ))*4)
+		size := int64(len(mp.words))*8 + int64(len(mp.nonEmpty))*8 + int64(len(mp.sliceNZ))*4
+		m.bytes.Add(size)
+		c.resident.Add(size)
 	})
 	return e.mp
 }

@@ -13,6 +13,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"sre/internal/metrics"
 )
 
 // ErrSaturated reports a full admission queue (HTTP 503, retryable).
@@ -27,7 +29,8 @@ type Gate struct {
 	depth    int
 	inflight int
 	closed   bool
-	drained  chan struct{} // created by Close, closed at inflight==0
+	drained  chan struct{}  // created by Close, closed at inflight==0
+	gauge    *metrics.Gauge // high-water inflight; updated under mu
 }
 
 // NewGate returns a gate admitting at most depth concurrent requests
@@ -38,6 +41,12 @@ func NewGate(depth int) *Gate {
 	}
 	return &Gate{depth: depth}
 }
+
+// Track publishes the gate's high-water in-flight count to g (nil-safe).
+// The gauge moves inside the gate's own mutex, paired exactly with the
+// Enter that admitted the request — a racing handler can no longer
+// publish a stale read-back of Inflight. Call before serving begins.
+func (g *Gate) Track(gauge *metrics.Gauge) { g.gauge = gauge }
 
 // Enter admits one request, or reports ErrDraining/ErrSaturated.
 // Every successful Enter must be paired with Leave.
@@ -51,12 +60,20 @@ func (g *Gate) Enter() error {
 		return ErrSaturated
 	}
 	g.inflight++
+	g.gauge.Set(int64(g.inflight))
 	return nil
 }
 
-// Leave releases one admitted request.
+// Leave releases one admitted request. An unpaired Leave (a bug in the
+// caller) is ignored rather than driving the count negative — an
+// underflowed gate would both over-admit (depth + |underflow| requests)
+// and close the drain latch while real requests are still in flight.
 func (g *Gate) Leave() {
 	g.mu.Lock()
+	if g.inflight == 0 {
+		g.mu.Unlock()
+		return
+	}
 	g.inflight--
 	if g.closed && g.inflight == 0 && g.drained != nil {
 		close(g.drained)

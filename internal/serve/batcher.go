@@ -12,6 +12,14 @@
 // across the seeds, so the sweep is sub-linear in the number of
 // distinct seeds.
 //
+// Result cache: because runs are deterministic, a (BatchKey, mode,
+// act_seed) cell that has been swept before needs no sweep at all. A
+// request whose every cell is cached is answered straight from Do —
+// no coalescing delay, no sweep slot; a claimed batch whose union is
+// fully cached is delivered before acquiring a sweep slot. Either way
+// the response is the bit-identical Result a sweep would have
+// produced, flagged cached, and sre_serve_sweeps_total does not move.
+//
 // Deadlines: each waiter gives up individually when its own context
 // ends — a 504 for that request only. The sweep itself is cancelled
 // (through the sre.RunContext cancellation path) only when every
@@ -45,6 +53,7 @@ type BatchKey struct {
 type Batcher struct {
 	registry *Registry
 	budget   *Budget
+	cache    *ResultCache // nil disables result caching
 	window   time.Duration
 	workers  int
 	opts     []sre.Option // extra run options (e.g. WithMetrics)
@@ -72,22 +81,26 @@ type waiter struct {
 }
 
 type batchResult struct {
-	byAct map[uint64]map[sre.Mode]sre.Result
-	size  int // how many requests shared the sweep
-	err   error
+	byAct  map[uint64]map[sre.Mode]sre.Result
+	size   int // how many requests shared the sweep
+	cached bool
+	err    error
 }
 
 // NewBatcher returns a batcher executing against registry under
-// budget. window is the coalescing delay (<=0 disables coalescing:
-// every request sweeps alone); workers is the per-sweep pool width
-// (0 = GOMAXPROCS); base bounds every sweep's lifetime (the server's
-// run context); shard receives the batcher's counters (nil-safe);
-// runOpts are appended to every sweep (the server passes WithMetrics).
-func NewBatcher(registry *Registry, budget *Budget, window time.Duration,
+// budget, consulting (and populating) cache when it is non-nil.
+// window is the coalescing delay (<=0 disables coalescing: every
+// request claims its batch synchronously and sweeps alone); workers is
+// the per-sweep pool width (0 = GOMAXPROCS); base bounds every sweep's
+// lifetime (the server's run context); shard receives the batcher's
+// counters (nil-safe); runOpts are appended to every sweep (the server
+// passes WithMetrics).
+func NewBatcher(registry *Registry, budget *Budget, cache *ResultCache, window time.Duration,
 	workers int, base context.Context, shard *metrics.Shard, runOpts ...sre.Option) *Batcher {
 	return &Batcher{
 		registry:  registry,
 		budget:    budget,
+		cache:     cache,
 		window:    window,
 		workers:   workers,
 		opts:      runOpts,
@@ -102,47 +115,63 @@ func NewBatcher(registry *Registry, budget *Budget, window time.Duration,
 // Do submits one request (key + the modes it wants + its activation
 // seed, 0 = the network's own activations) and blocks until its
 // results arrive or ctx ends. Returns the results in the order modes
-// was given, plus how many requests shared the sweep.
-func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode, actSeed uint64) ([]sre.Result, int, error) {
+// was given, how many requests shared the sweep, and whether the
+// response came from the result cache without sweeping.
+func (b *Batcher) Do(ctx context.Context, key BatchKey, modes []sre.Mode, actSeed uint64) ([]sre.Result, int, bool, error) {
+	// Fast path: a fully cached request is answered immediately — it
+	// never joins a batch, waits out a coalescing window, or takes a
+	// sweep slot.
+	if res, ok := b.cache.Lookup(key, modes, actSeed); ok {
+		return res, 1, true, nil
+	}
+
 	w := &waiter{ctx: ctx, modes: modes, actSeed: actSeed, ch: make(chan batchResult, 1)}
 
-	b.mu.Lock()
-	bt, ok := b.pending[key]
-	if !ok {
-		bt = &batch{}
-		b.pending[key] = bt
-		if b.window > 0 {
-			time.AfterFunc(b.window, func() { b.run(key) })
-		}
-	} else {
-		b.coalesced.Inc()
-	}
-	bt.waiters = append(bt.waiters, w)
-	for _, m := range modes {
-		if !containsMode(bt.modes, m) {
-			bt.modes = append(bt.modes, m)
-		}
-	}
-	if !containsSeed(bt.acts, actSeed) {
-		bt.acts = append(bt.acts, actSeed)
-	}
-	b.mu.Unlock()
 	if b.window <= 0 {
-		go b.run(key)
+		// Coalescing disabled: claim the batch synchronously so every
+		// request really does sweep alone — a racing request can never
+		// join it, because it is never published in pending.
+		bt := &batch{acts: []uint64{actSeed}, waiters: []*waiter{w}}
+		for _, m := range modes {
+			if !containsMode(bt.modes, m) {
+				bt.modes = append(bt.modes, m)
+			}
+		}
+		go b.exec(key, bt)
+	} else {
+		b.mu.Lock()
+		bt, ok := b.pending[key]
+		if !ok {
+			bt = &batch{}
+			b.pending[key] = bt
+			time.AfterFunc(b.window, func() { b.run(key) })
+		} else {
+			b.coalesced.Inc()
+		}
+		bt.waiters = append(bt.waiters, w)
+		for _, m := range modes {
+			if !containsMode(bt.modes, m) {
+				bt.modes = append(bt.modes, m)
+			}
+		}
+		if !containsSeed(bt.acts, actSeed) {
+			bt.acts = append(bt.acts, actSeed)
+		}
+		b.mu.Unlock()
 	}
 
 	select {
 	case res := <-w.ch:
 		if res.err != nil {
-			return nil, res.size, res.err
+			return nil, res.size, false, res.err
 		}
 		out := make([]sre.Result, len(modes))
 		for i, m := range modes {
 			out[i] = res.byAct[actSeed][m]
 		}
-		return out, res.size, nil
+		return out, res.size, res.cached, nil
 	case <-ctx.Done():
-		return nil, 0, ctx.Err()
+		return nil, 0, false, ctx.Err()
 	}
 }
 
@@ -153,6 +182,27 @@ func (b *Batcher) run(key BatchKey) {
 	delete(b.pending, key)
 	b.mu.Unlock()
 	if bt == nil {
+		return
+	}
+	b.exec(key, bt)
+}
+
+// exec executes one claimed batch: from the result cache when every
+// (seed, mode) cell is present, otherwise as a sweep that then
+// populates the cache.
+func (b *Batcher) exec(key BatchKey, bt *batch) {
+	deliver := func(res batchResult) {
+		res.size = len(bt.waiters)
+		for _, w := range bt.waiters {
+			w.ch <- res // cap 1, one send per waiter: never blocks
+		}
+	}
+
+	// Serve the whole batch from cache if possible — before counting a
+	// sweep and before taking a sweep slot, so cache hits neither move
+	// sre_serve_sweeps_total nor queue behind running sweeps.
+	if byAct, ok := b.cache.LookupBatch(key, bt.modes, bt.acts); ok {
+		deliver(batchResult{byAct: byAct, cached: true})
 		return
 	}
 	b.sweeps.Inc()
@@ -177,24 +227,18 @@ func (b *Batcher) run(key BatchKey) {
 		}(w)
 	}
 
-	deliver := func(res batchResult) {
-		res.size = len(bt.waiters)
-		for _, w := range bt.waiters {
-			w.ch <- res // cap 1, one send per waiter: never blocks
-		}
-	}
-
 	if err := b.budget.Acquire(runCtx); err != nil {
 		deliver(batchResult{err: err})
 		return
 	}
 	defer b.budget.Release()
 
-	net, err := b.registry.Get(runCtx, key.Key)
+	net, release, err := b.registry.Get(runCtx, key.Key)
 	if err != nil {
 		deliver(batchResult{err: err})
 		return
 	}
+	defer release() // unpin: the registry may evict once the sweep is done
 	opts := append([]sre.Option{
 		sre.WithMaxWindows(key.MaxWindows),
 		sre.WithIndexBits(key.IndexBits),
@@ -218,6 +262,7 @@ func (b *Batcher) run(key BatchKey) {
 			byMode[r.Mode] = r
 		}
 		byAct[0] = byMode
+		b.populate(key, byAct)
 		deliver(batchResult{byAct: byAct})
 		return
 	}
@@ -240,7 +285,21 @@ func (b *Batcher) run(key BatchKey) {
 		}
 		byAct[seed] = byMode
 	}
+	b.populate(key, byAct)
 	deliver(batchResult{byAct: byAct})
+}
+
+// populate feeds every (seed, mode) cell of a completed sweep into the
+// result cache.
+func (b *Batcher) populate(key BatchKey, byAct map[uint64]map[sre.Mode]sre.Result) {
+	if b.cache == nil {
+		return
+	}
+	for seed, byMode := range byAct {
+		for m, r := range byMode {
+			b.cache.Put(key, m, seed, r)
+		}
+	}
 }
 
 func containsMode(ms []sre.Mode, m sre.Mode) bool {

@@ -1,0 +1,203 @@
+// Result cache: the serve-path observation that makes repeated design
+// -point queries free. SRE runs are fully deterministic — the same
+// (network, prune, build-config, run-options, act_seed) tuple always
+// yields a bit-identical Result (the invariant the golden tests and the
+// served bit-identity tests pin) — so once a sweep has computed a
+// (BatchKey, mode, act_seed) cell, every later request for it can be
+// answered without simulating, or even without waiting for a sweep
+// slot. The cache is a byte-accounted LRU: entries are charged their
+// estimated wire size, and past the configured cap the least recently
+// used results are dropped. Correctness is unaffected by eviction —
+// a miss just re-simulates — so the cap is purely a memory bound.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"unsafe"
+
+	"sre"
+	"sre/internal/metrics"
+)
+
+// resultCacheKey identifies one cached Result: the batch identity (the
+// resident network plus every result-affecting run option) refined by
+// the mode and the activation seed — exactly the tuple that determines
+// a Result bit-for-bit.
+type resultCacheKey struct {
+	BatchKey BatchKey
+	Mode     sre.Mode
+	ActSeed  uint64
+}
+
+// ResultCache is a bounded, byte-accounted LRU of served Results. A
+// nil *ResultCache is valid and disables caching (every method is a
+// nil-safe no-op), which is how Options.ResultCacheBytes < 0 turns the
+// feature off. Create one with NewResultCache.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	entries map[resultCacheKey]*list.Element
+	lru     list.List // *resultCacheEntry, front = most recent
+
+	hits      *metrics.Counter // (mode, seed) cells served from cache
+	misses    *metrics.Counter // cells that forced (or joined) a sweep
+	evictions *metrics.Counter // entries dropped under the byte cap
+	bytesG    *metrics.Gauge   // high-water accounted bytes
+}
+
+type resultCacheEntry struct {
+	key  resultCacheKey
+	res  sre.Result
+	size int64
+}
+
+// NewResultCache returns a cache bounded at capBytes, feeding the
+// given counters (all nil-safe). capBytes <= 0 returns nil — caching
+// disabled.
+func NewResultCache(capBytes int64, hits, misses, evictions *metrics.Counter, bytesG *metrics.Gauge) *ResultCache {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &ResultCache{
+		cap:       capBytes,
+		entries:   map[resultCacheKey]*list.Element{},
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
+		bytesG:    bytesG,
+	}
+}
+
+// Lookup serves a whole request from cache: all-or-nothing over the
+// requested modes at one activation seed, in request order. A full hit
+// counts len(modes) cache hits and refreshes the entries' recency; a
+// partial or empty hit counts nothing (the sweep path will account the
+// batch's misses) and returns ok=false.
+func (c *ResultCache) Lookup(key BatchKey, modes []sre.Mode, actSeed uint64) ([]sre.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	out := make([]sre.Result, len(modes))
+	for i, m := range modes {
+		el, ok := c.entries[resultCacheKey{key, m, actSeed}]
+		if !ok {
+			c.mu.Unlock()
+			return nil, false
+		}
+		out[i] = el.Value.(*resultCacheEntry).res
+	}
+	for _, m := range modes {
+		c.lru.MoveToFront(c.entries[resultCacheKey{key, m, actSeed}])
+	}
+	c.mu.Unlock()
+	c.hits.Add(int64(len(modes)))
+	return out, true
+}
+
+// LookupBatch serves a whole coalesced batch from cache: every
+// (seed, mode) cell of the batch's union must be present. A full hit
+// counts one cache hit per cell and returns the fan-out map the
+// batcher delivers from; any absent cell counts every cell as a miss
+// (the batch is about to sweep them all) and returns ok=false.
+func (c *ResultCache) LookupBatch(key BatchKey, modes []sre.Mode, acts []uint64) (map[uint64]map[sre.Mode]sre.Result, bool) {
+	cells := int64(len(modes)) * int64(len(acts))
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	byAct := make(map[uint64]map[sre.Mode]sre.Result, len(acts))
+	for _, seed := range acts {
+		byMode := make(map[sre.Mode]sre.Result, len(modes))
+		for _, m := range modes {
+			el, ok := c.entries[resultCacheKey{key, m, seed}]
+			if !ok {
+				c.mu.Unlock()
+				c.misses.Add(cells)
+				return nil, false
+			}
+			byMode[m] = el.Value.(*resultCacheEntry).res
+		}
+		byAct[seed] = byMode
+	}
+	for _, seed := range acts {
+		for _, m := range modes {
+			c.lru.MoveToFront(c.entries[resultCacheKey{key, m, seed}])
+		}
+	}
+	c.mu.Unlock()
+	c.hits.Add(cells)
+	return byAct, true
+}
+
+// Put caches one (mode, seed) cell of a completed sweep, evicting the
+// least recently used entries if the accounted bytes now exceed the
+// cap. A result bigger than the whole cap is not cached. Re-putting an
+// existing key refreshes its recency (the value is necessarily
+// identical — results are deterministic).
+func (c *ResultCache) Put(key BatchKey, mode sre.Mode, actSeed uint64, res sre.Result) {
+	if c == nil {
+		return
+	}
+	k := resultCacheKey{key, mode, actSeed}
+	size := resultSizeBytes(res)
+	if size > c.cap {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&resultCacheEntry{key: k, res: res, size: size})
+	c.bytes += size
+	c.bytesG.Set(c.bytes)
+	var evicted int64
+	for c.bytes > c.cap {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*resultCacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		evicted++
+	}
+	c.mu.Unlock()
+	c.evictions.Add(evicted)
+}
+
+// Len returns the number of cached entries.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the accounted size of the cached entries.
+func (c *ResultCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// resultSizeBytes estimates a Result's resident size: the struct, its
+// layer slice, and the strings. Good to a few pointers' worth — enough
+// for the LRU's byte accounting, which needs ordering, not exactness.
+func resultSizeBytes(r sre.Result) int64 {
+	size := int64(unsafe.Sizeof(r)) + int64(len(r.Network))
+	for i := range r.Layers {
+		size += int64(unsafe.Sizeof(r.Layers[i])) + int64(len(r.Layers[i].Name))
+	}
+	return size + 64 // map entry + list element bookkeeping
+}

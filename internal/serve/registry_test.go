@@ -20,9 +20,11 @@ func TestRegistrySingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			n, err := r.Get(context.Background(), key)
+			n, release, err := r.Get(context.Background(), key)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
+			} else {
+				release()
 			}
 			nets[i] = n
 		}(i)
@@ -46,7 +48,7 @@ func TestRegistryFailedBuildNotCached(t *testing.T) {
 	r := NewRegistry()
 	key := KeyFor("no-such-network", sre.SSL, sre.DefaultConfig())
 
-	if _, err := r.Get(context.Background(), key); err == nil {
+	if _, _, err := r.Get(context.Background(), key); err == nil {
 		t.Fatal("Get(bogus) succeeded")
 	}
 	if got := r.Builds(); got != 1 {
@@ -54,7 +56,7 @@ func TestRegistryFailedBuildNotCached(t *testing.T) {
 	}
 	// The failed entry must be dropped, so the next Get retries the
 	// build rather than replaying a cached error.
-	if _, err := r.Get(context.Background(), key); err == nil {
+	if _, _, err := r.Get(context.Background(), key); err == nil {
 		t.Fatal("second Get(bogus) succeeded")
 	}
 	if got := r.Builds(); got != 2 {
@@ -78,19 +80,26 @@ func TestRegistryAbandonedWaiter(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := r.Get(context.Background(), key); err != nil {
+		if _, release, err := r.Get(context.Background(), key); err != nil {
 			t.Errorf("builder: %v", err)
+		} else {
+			release()
 		}
 	}()
-	// This Get either becomes the builder itself (and succeeds: the
-	// builder never checks ctx) or waits and sees context.Canceled.
-	if _, err := r.Get(cancelled, key); err != nil && err != context.Canceled {
+	// This Get either started the detached build or joined it; either
+	// way its dead context means it sees context.Canceled — or, if the
+	// build won the race, the built network.
+	if _, release, err := r.Get(cancelled, key); err != nil && err != context.Canceled {
 		t.Fatalf("abandoned Get: %v", err)
+	} else if err == nil {
+		release()
 	}
 	wg.Wait()
 	// Whichever interleaving happened, the entry must be healthy now.
-	if _, err := r.Get(context.Background(), key); err != nil {
+	if _, release, err := r.Get(context.Background(), key); err != nil {
 		t.Fatalf("post-abandon Get: %v", err)
+	} else {
+		release()
 	}
 	if got := r.Builds(); got > 2 {
 		t.Fatalf("Builds() = %d, want at most 2", got)
@@ -111,10 +120,11 @@ func TestRegistrySnapshots(t *testing.T) {
 
 	r1 := NewRegistry()
 	r1.UseSnapshots(dir, hits, misses)
-	n1, err := r1.Get(context.Background(), key)
+	n1, release1, err := r1.Get(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
+	release1()
 	if n1.SnapshotLoaded() {
 		t.Fatal("cold empty-dir Get reported a snapshot hit")
 	}
@@ -129,9 +139,11 @@ func TestRegistrySnapshots(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			n, err := r2.Get(context.Background(), key)
+			n, release, err := r2.Get(context.Background(), key)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
+			} else {
+				release()
 			}
 			nets[i] = n
 		}(i)

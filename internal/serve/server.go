@@ -50,6 +50,15 @@ type Options struct {
 	// restarts and replicas sharing the directory start warm.
 	// sre_serve_snapshot_{hits,misses}_total count the outcomes.
 	SnapshotDir string
+	// ResultCacheBytes bounds the deterministic result cache (default
+	// 256 MiB; negative disables caching). Repeated (design point, mode,
+	// act_seed) requests are answered from the cache without sweeping,
+	// bit-identical and flagged "cached" in the response.
+	ResultCacheBytes int64
+	// RegistryBytes bounds the resident-network registry's accounted
+	// bytes (default 0 = unbounded). Past the cap the least-recently-
+	// used networks not pinned by a running sweep are evicted.
+	RegistryBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.ResultCacheBytes == 0 {
+		o.ResultCacheBytes = 256 << 20
 	}
 	if o.Metrics == nil {
 		o.Metrics = metrics.NewRegistry()
@@ -109,12 +121,24 @@ func NewServer(opts Options) *Server {
 		timeouts: shard.Counter("sre_serve_timeouts_total"),
 		inflight: shard.Gauge("sre_serve_inflight_requests"),
 	}
+	s.gate.Track(s.inflight)
 	if opts.SnapshotDir != "" {
 		s.registry.UseSnapshots(opts.SnapshotDir,
 			shard.Counter("sre_serve_snapshot_hits_total"),
 			shard.Counter("sre_serve_snapshot_misses_total"))
 	}
-	s.batcher = NewBatcher(s.registry, NewBudget(opts.MaxSweeps), window,
+	if opts.RegistryBytes > 0 {
+		s.registry.Bound(opts.RegistryBytes,
+			shard.Counter("sre_serve_registry_evictions_total"),
+			shard.Counter("sre_serve_registry_evicted_bytes_total"),
+			shard.Gauge("sre_serve_registry_bytes"))
+	}
+	cache := NewResultCache(opts.ResultCacheBytes,
+		shard.Counter("sre_serve_result_cache_hits_total"),
+		shard.Counter("sre_serve_result_cache_misses_total"),
+		shard.Counter("sre_serve_result_cache_evictions_total"),
+		shard.Gauge("sre_serve_result_cache_bytes"))
+	s.batcher = NewBatcher(s.registry, NewBudget(opts.MaxSweeps), cache, window,
 		opts.Workers, base, shard, sre.WithMetrics(opts.Metrics))
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -231,6 +255,7 @@ type SimulateResponse struct {
 	Network   string       `json:"network"`
 	Prune     string       `json:"prune"`
 	BatchSize int          `json:"batch_size"` // requests that shared the sweep
+	Cached    bool         `json:"cached"`     // served from the result cache, no sweep
 	Results   []sre.Result `json:"results"`
 }
 
@@ -285,11 +310,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		return
 	}
-	defer func() {
-		s.gate.Leave()
-		s.inflight.Set(int64(s.gate.Inflight()))
-	}()
-	s.inflight.Set(int64(s.gate.Inflight()))
+	defer s.gate.Leave()
 
 	timeout := s.opts.DefaultTimeout
 	if req.TimeoutMillis > 0 {
@@ -301,14 +322,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	results, size, err := s.batcher.Do(ctx, batchKey, modes, req.ActSeed)
+	results, size, cached, err := s.batcher.Do(ctx, batchKey, modes, req.ActSeed)
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Inc()
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 		return
-	case errors.Is(err, context.Canceled):
-		// Client went away or the server is stopping mid-flight.
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrDraining):
+		// Client went away or the server is stopping mid-flight. Both
+		// are retryable against a healthy replica, so advertise that
+		// like every other 503 this server emits.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
 		return
 	case err != nil:
@@ -319,6 +343,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Network:   key.Network,
 		Prune:     key.Prune.String(),
 		BatchSize: size,
+		Cached:    cached,
 		Results:   results,
 	})
 }

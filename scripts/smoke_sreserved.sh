@@ -1,11 +1,14 @@
 #!/bin/sh
 # End-to-end smoke test for the sreserved daemon: boot it on an
-# ephemeral port, hit /healthz, run one simulation round-trip, scrape
-# /metrics, then SIGTERM it and require a clean graceful-drain exit.
-# Usage: smoke_sreserved.sh <path-to-sreserved-binary>
+# ephemeral port, hit /healthz, run one simulation round-trip, repeat
+# it to prove the result cache answers without sweeping, scrape
+# /metrics, optionally drive a small sreload run, then SIGTERM it and
+# require a clean graceful-drain exit.
+# Usage: smoke_sreserved.sh <path-to-sreserved-binary> [path-to-sreload]
 set -eu
 
-BIN=${1:?usage: smoke_sreserved.sh <sreserved binary>}
+BIN=${1:?usage: smoke_sreserved.sh <sreserved binary> [sreload binary]}
+LOADBIN=${2:-}
 ADDR=127.0.0.1:18344
 BASE=http://$ADDR
 
@@ -29,14 +32,34 @@ echo "smoke: /healthz ok"
 curl -sf "$BASE/v1/networks" | grep -q '"MNIST"'
 echo "smoke: /v1/networks lists MNIST"
 
-OUT=$(curl -sf -X POST "$BASE/v1/simulate" -d \
-	'{"network":"MNIST","modes":["baseline","orc+dof"],"config":{"max_windows":6},"timeout_ms":60000}')
+REQ='{"network":"MNIST","modes":["baseline","orc+dof"],"config":{"max_windows":6},"timeout_ms":60000}'
+OUT=$(curl -sf -X POST "$BASE/v1/simulate" -d "$REQ")
 echo "$OUT" | grep -q '"Mode": "orc+dof"'
 echo "$OUT" | grep -q '"Cycles"'
+echo "$OUT" | grep -q '"cached": false'
 echo "smoke: /v1/simulate round-trip ok"
 
-curl -sf "$BASE/metrics" | grep -q '^sre_serve_requests_total 1$'
-echo "smoke: /metrics scrape ok"
+# The identical request again: deterministic, so the result cache must
+# answer it without another sweep, bit-identically.
+OUT2=$(curl -sf -X POST "$BASE/v1/simulate" -d "$REQ")
+echo "$OUT2" | grep -q '"cached": true'
+if [ "$(echo "$OUT" | sed 's/"cached": false/"cached": true/')" != "$OUT2" ]; then
+	echo "smoke: cached response differs from the swept one" >&2
+	exit 1
+fi
+echo "smoke: repeated /v1/simulate served from the result cache, bit-identical"
+
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q '^sre_serve_requests_total 2$'
+echo "$METRICS" | grep -q '^sre_serve_sweeps_total 1$'
+echo "$METRICS" | grep -q '^sre_serve_result_cache_hits_total 2$'
+echo "smoke: /metrics scrape ok (1 sweep for 2 requests, 2 cache hits)"
+
+if [ -n "$LOADBIN" ]; then
+	"$LOADBIN" -addr "$ADDR" -clients 4 -requests 40 -keys 2 -seeds 2 \
+		-max-windows 6 -modes baseline,orc+dof -timeout 60s
+	echo "smoke: sreload run ok (bit-identity checked)"
+fi
 
 kill -TERM "$PID"
 WAIT_STATUS=0

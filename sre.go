@@ -689,6 +689,27 @@ func (n *Network) SnapshotLoaded() bool { return n.fromSnapshot }
 // Name returns the network's name.
 func (n *Network) Name() string { return n.name }
 
+// SizeBytes estimates the resident memory a built network pins: the
+// per-layer compression structures' group masks (the bytes a snapshot
+// would persist) plus whatever window-code and slice-mask planes runs
+// have lazily cached so far, with a small fixed constant per layer for
+// activation sources and bookkeeping. The estimate is cheap (no
+// allocation, a few loads per layer) and monotone — plane caches only
+// grow — so callers that account memory, like sreserved's byte-bounded
+// registry, can re-read it as the network warms up.
+func (n *Network) SizeBytes() int64 {
+	total := int64(4096)
+	for i := range n.built.Layers {
+		l := &n.built.Layers[i]
+		if l.Struct != nil {
+			total += l.Struct.SizeBytes()
+		}
+		total += l.Codes.ResidentBytes()
+		total += 1024
+	}
+	return total
+}
+
 // LayerCount returns the number of matrix (crossbar-mapped) layers.
 func (n *Network) LayerCount() int { return len(n.built.Layers) }
 

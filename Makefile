@@ -30,7 +30,7 @@ BENCH_COUNT ?= 1
 BENCH_PATTERN = BenchmarkSimulateLayer|BenchmarkVGG16Sweep|BenchmarkBatchedSweep
 BENCH_PATTERN_BITSET = BenchmarkCountWords|BenchmarkCountAndPlanes|BenchmarkBuildSliceMasks
 
-.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart bench-load snapshot-roundtrip results profile clean
+.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart bench-load bench-cluster snapshot-roundtrip results profile clean
 
 all: verify
 
@@ -58,11 +58,14 @@ verify: vet build race bench-smoke
 # smoke boots the sreserved daemon for real: health check, a simulate
 # round-trip plus its cached repeat (bit-identical, no second sweep), a
 # /metrics scrape, a small sreload run, then SIGTERM and a clean-drain
-# exit.
+# exit — then repeats the exercise as a two-replica cluster
+# (consistent-hash ownership, one-hop forwarding, exactly one build per
+# key cluster-wide, clean drain of both replicas).
 smoke:
 	$(GO) build -o bin/sreserved ./cmd/sreserved
 	$(GO) build -o bin/sreload ./cmd/sreload
 	./scripts/smoke_sreserved.sh ./bin/sreserved ./bin/sreload
+	./scripts/smoke_cluster.sh ./bin/sreserved
 
 # bench runs the simulator hot-path benchmarks (per-mode kernel vs
 # scalar reference, the six-mode VGG-16 sweep, the batched
@@ -130,6 +133,24 @@ bench-load:
 	$(GO) build -o bin/sreserved ./cmd/sreserved
 	$(GO) build -o bin/sreload ./cmd/sreload
 	./scripts/bench_load.sh ./bin/sreserved ./bin/sreload $(BENCH_LOAD_OUT)
+
+# bench-cluster records the sharding acceptance numbers: the PR 8
+# skewed workload (keys spread over build-scoped seeds so the ring
+# partitions them) against one replica, then against a REPLICAS-wide
+# loopback cluster, into $(BENCH_CLUSTER_OUT) — per-run
+# p50/p99/throughput/hit-rate, per-replica breakdown, forward rate, and
+# the aggregate-throughput ratio printed at the end. The >=1.5x
+# 2-replica target presumes a multi-core box: replicas are separate
+# processes, so on one hardware thread the cluster run measures
+# context-switching plus a forwarding hop, not scale-out (same caveat
+# as BENCH_PR4's parallel ratios — record nproc next to the number).
+# Knobs (NETWORK, REQUESTS, CLIENTS, KEYS, SEEDS, HOT, MAXWIN, MODES,
+# SWEEPS, REPLICAS) pass through the environment.
+BENCH_CLUSTER_OUT ?= BENCH_PR9.json
+bench-cluster:
+	$(GO) build -o bin/sreserved ./cmd/sreserved
+	$(GO) build -o bin/sreload ./cmd/sreload
+	./scripts/bench_cluster.sh ./bin/sreserved ./bin/sreload $(BENCH_CLUSTER_OUT)
 
 # snapshot-roundtrip drives the artifact format end to end through the
 # CLI: build + persist, reload from the snapshot dir, diff the outputs.

@@ -37,6 +37,21 @@
 //	sreload -addr 127.0.0.1:8344 -clients 8 -requests 400 \
 //	  -keys 4 -hot 0.8 -seeds 2 -modes baseline,orc+dof \
 //	  -label cache=on -out BENCH_PR8.json -append
+//
+// Multi-replica load: -addr accepts a comma-separated address list and
+// spreads the client goroutines across the replicas round-robin — the
+// aggregate-throughput shape a sharded cluster serves. With more than
+// one target, -key-dim seed makes the design points differ in the
+// build-scoped config seed (distinct resident networks, so ownership
+// spreads over the ring) instead of the run-scoped max_windows, the
+// report adds a per-replica latency breakdown, and the replicas'
+// /metrics are scraped before and after the measured phase to report
+// the cluster's forward rate. The bit-identity ledger is unchanged: a
+// forwarded response must be byte-identical to an owned one.
+//
+//	sreload -addr 127.0.0.1:8344,127.0.0.1:8345 -key-dim seed \
+//	  -clients 8 -requests 400 -keys 4 -hot 0.8 -seeds 2 \
+//	  -label replicas=2 -out BENCH_PR9.json -append
 package main
 
 import (
@@ -45,15 +60,19 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sre/internal/cli"
 )
 
 type simRequest struct {
@@ -72,9 +91,13 @@ type simResponse struct {
 }
 
 // cell is one point of the cached-result key space the load walks.
+// cfgSeed != 0 varies the build-scoped config seed instead of the
+// run-scoped max_windows (-key-dim seed), so each key is a distinct
+// resident network.
 type cell struct {
 	maxWindows int
 	actSeed    uint64
+	cfgSeed    uint64
 }
 
 // sample is one measured request.
@@ -82,12 +105,14 @@ type sample struct {
 	latency time.Duration
 	cached  bool
 	batch   int
+	replica int
 	err     bool
 }
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8344", "sreserved address (host:port)")
+		addr     = flag.String("addr", "127.0.0.1:8344", "sreserved address(es), comma-separated for multi-replica load")
+		keyDim   = flag.String("key-dim", "window", "what distinguishes design points: window (run-scoped max_windows) or seed (build-scoped config seed; spreads ownership across a cluster)")
 		network  = flag.String("network", "MNIST", "network every request targets")
 		prune    = flag.String("prune", "ssl", "prune style")
 		modesFl  = flag.String("modes", "baseline,orc+dof", "comma-separated mode set every request asks for")
@@ -110,30 +135,48 @@ func main() {
 	if *keys < 1 || *clients < 1 || *requests < 1 || *seeds < 1 {
 		fatal(fmt.Errorf("keys, clients, requests, seeds must all be >= 1"))
 	}
+	addrs := cli.SplitAddrs(*addr)
+	if len(addrs) == 0 {
+		fatal(fmt.Errorf("-addr names no replica address"))
+	}
+	if *keyDim != "window" && *keyDim != "seed" {
+		fatal(fmt.Errorf("bad -key-dim %q (want window or seed)", *keyDim))
+	}
 	cells := make([]cell, 0, *keys**seeds)
 	for k := 0; k < *keys; k++ {
-		mw := *maxWin - 2*k
-		if mw < 4 {
-			mw = 4 + k // keep every key distinct and valid
+		mw := *maxWin
+		var cs uint64
+		if *keyDim == "seed" {
+			// Build-scoped spread: key k is a distinct resident network
+			// (its own registry key, hence its own ring owner).
+			cs = uint64(1000 + k)
+		} else {
+			mw = *maxWin - 2*k
+			if mw < 4 {
+				mw = 4 + k // keep every key distinct and valid
+			}
 		}
 		for s := 0; s < *seeds; s++ {
-			cells = append(cells, cell{maxWindows: mw, actSeed: uint64(s)})
+			cells = append(cells, cell{maxWindows: mw, actSeed: uint64(s), cfgSeed: cs})
 		}
 	}
 
 	client := &http.Client{Timeout: *timeout + 5*time.Second}
-	url := "http://" + *addr + "/v1/simulate"
-	do := func(c cell) (simResponse, time.Duration, error) {
+	do := func(target int, c cell) (simResponse, time.Duration, error) {
+		cfg := map[string]int{"max_windows": c.maxWindows}
+		if c.cfgSeed != 0 {
+			cfg["seed"] = int(c.cfgSeed)
+		}
 		body, _ := json.Marshal(simRequest{
 			Network: *network,
 			Prune:   *prune,
 			Modes:   modes,
-			Config:  map[string]int{"max_windows": c.maxWindows},
+			Config:  cfg,
 			ActSeed: c.actSeed,
 			Timeout: timeout.Milliseconds(),
 		})
 		start := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		resp, err := client.Post("http://"+addrs[target]+"/v1/simulate", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return simResponse{}, time.Since(start), err
 		}
@@ -162,8 +205,8 @@ func main() {
 
 	if *warmup {
 		fmt.Fprintf(os.Stderr, "sreload: warmup: %d cells\n", len(cells))
-		for _, c := range cells {
-			sr, _, err := do(c)
+		for i, c := range cells {
+			sr, _, err := do(i%len(addrs), c)
 			if err != nil {
 				fatal(fmt.Errorf("warmup %+v: %w", c, err))
 			}
@@ -171,8 +214,12 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "sreload: measuring: %d requests, %d clients, %d keys (hot %.2f), %d seeds, modes %v\n",
-		*requests, *clients, *keys, *hot, *seeds, modes)
+	// Forward-rate baseline: scrape each replica's forwarded counter so
+	// the measured phase's delta excludes warmup hops.
+	fwdBefore := scrapeForwarded(addrs)
+
+	fmt.Fprintf(os.Stderr, "sreload: measuring: %d requests, %d clients over %d replica(s), %d keys (hot %.2f, dim %s), %d seeds, modes %v\n",
+		*requests, *clients, len(addrs), *keys, *hot, *keyDim, *seeds, modes)
 	samples := make([]sample, *requests)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -181,6 +228,9 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Clients spread across the replicas round-robin, the way a
+			// load balancer (or client-side sharding) would.
+			target := w % len(addrs)
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 			for {
 				i := int(next.Add(1)) - 1
@@ -192,8 +242,8 @@ func main() {
 					k = 1 + rng.Intn(*keys-1)
 				}
 				c := cells[k**seeds+rng.Intn(*seeds)]
-				sr, lat, err := do(c)
-				samples[i] = sample{latency: lat, cached: sr.Cached, batch: sr.BatchSize, err: err != nil}
+				sr, lat, err := do(target, c)
+				samples[i] = sample{latency: lat, cached: sr.Cached, batch: sr.BatchSize, replica: target, err: err != nil}
 				if err == nil {
 					check(c, sr.Results)
 				}
@@ -245,8 +295,36 @@ func main() {
 		"errors":     float64(errs),
 		"mismatches": float64(mismatches.Load()),
 	}
+	if len(addrs) > 1 {
+		// Cluster extras: the measured phase's forward rate (hops per
+		// successful request, from the replicas' counters) and a
+		// per-replica latency breakdown.
+		metrics["forward-rate"] = (scrapeForwarded(addrs) - fwdBefore) / float64(len(lats))
+		for ri, a := range addrs {
+			rl := make([]time.Duration, 0, len(lats))
+			for _, s := range samples {
+				if !s.err && s.replica == ri {
+					rl = append(rl, s.latency)
+				}
+			}
+			if len(rl) == 0 {
+				continue
+			}
+			sort.Slice(rl, func(i, j int) bool { return rl[i] < rl[j] })
+			rp := func(p float64) time.Duration { return rl[int(p*float64(len(rl)-1)+0.5)] }
+			fmt.Fprintf(os.Stderr, "sreload: replica %s: %d reqs, p50 %v, p99 %v\n",
+				a, len(rl), rp(0.50), rp(0.99))
+			prefix := fmt.Sprintf("r%d-", ri)
+			metrics[prefix+"req"] = float64(len(rl))
+			metrics[prefix+"p50-ns"] = float64(rp(0.50).Nanoseconds())
+			metrics[prefix+"p99-ns"] = float64(rp(0.99).Nanoseconds())
+		}
+	}
 	fmt.Printf("%s\t%d\t%.0f ns/op\t%.0f p50-ns\t%.0f p99-ns\t%.1f req/s\t%.3f hit-rate\n",
 		name, len(lats), metrics["ns/op"], metrics["p50-ns"], metrics["p99-ns"], reqPerSec, hitRate)
+	if fr, ok := metrics["forward-rate"]; ok {
+		fmt.Fprintf(os.Stderr, "sreload: forward-rate %.3f hops/request across %d replicas\n", fr, len(addrs))
+	}
 	if n := mismatches.Load(); n > 0 {
 		fatal(fmt.Errorf("%d bit-identity mismatches: cached responses differ from swept ones", n))
 	}
@@ -264,6 +342,29 @@ func main() {
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// scrapeForwarded sums sre_serve_forwarded_total across the replicas'
+// /metrics endpoints (0 for replicas without the counter, e.g. a
+// single-replica server, or ones that cannot be scraped).
+func scrapeForwarded(addrs []string) float64 {
+	var total float64
+	for _, a := range addrs {
+		resp, err := http.Get("http://" + a + "/metrics")
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(body), "\n") {
+			if rest, ok := strings.CutPrefix(line, "sre_serve_forwarded_total "); ok {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+					total += v
+				}
+			}
+		}
+	}
+	return total
 }
 
 // benchmark and record mirror cmd/benchjson's JSON shapes, so

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sre"
+	"sre/internal/shard"
+)
+
+// startCluster boots n replicas that share one peer list, each behind
+// its own httptest listener. The listeners exist before the servers
+// (NewUnstartedServer allocates the port immediately), so every
+// replica's Options can name the full address set.
+func startCluster(t *testing.T, n int, mod func(i int, o *Options)) ([]*Server, []string, []string) {
+	t.Helper()
+	srvs := make([]*Server, n)
+	tss := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := range tss {
+		i := i
+		tss[i] = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			srvs[i].ServeHTTP(w, r)
+		}))
+		addrs[i] = tss[i].Listener.Addr().String()
+	}
+	urls := make([]string, n)
+	for i := range srvs {
+		o := Options{Peers: addrs, Self: addrs[i]}
+		if mod != nil {
+			mod(i, &o)
+		}
+		srvs[i] = NewServer(o)
+		tss[i].Start()
+		urls[i] = tss[i].URL
+	}
+	t.Cleanup(func() {
+		for _, ts := range tss {
+			ts.Close()
+		}
+	})
+	return srvs, urls, addrs
+}
+
+// seedOwnedBy finds a build seed whose MNIST registry key the ring
+// assigns to owner (the ring is deterministic, so the scan is too).
+func seedOwnedBy(t *testing.T, ring *shard.Ring, owner string) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 4096; seed++ {
+		cfg := sre.DefaultConfig()
+		cfg.Seed = seed
+		if ring.Owner(KeyFor("MNIST", sre.SSL, cfg).String()) == owner {
+			return seed
+		}
+	}
+	t.Fatalf("no seed in [1,4096) owned by %s", owner)
+	return 0
+}
+
+func simBody(seed uint64) string {
+	return fmt.Sprintf(`{"network":"MNIST","mode":"baseline","config":{"seed":%d,"max_windows":6},"timeout_ms":60000}`, seed)
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	return parseProm(t, body)
+}
+
+// TestClusterForwardedBitIdentical is the 2-replica serve contract:
+// the same key requested through the owner and through the forwarding
+// replica — concurrently, repeatedly — yields bit-identical Results,
+// and the network behind it builds exactly once cluster-wide.
+func TestClusterForwardedBitIdentical(t *testing.T) {
+	srvs, urls, addrs := startCluster(t, 2, nil)
+	ring := srvs[0].cluster.ring
+	seeds := []uint64{seedOwnedBy(t, ring, addrs[0]), seedOwnedBy(t, ring, addrs[1])}
+
+	const perTarget = 3
+	type reply struct {
+		key  int
+		body []byte
+	}
+	var wg sync.WaitGroup
+	replies := make(chan reply, len(seeds)*len(urls)*perTarget)
+	for ki, seed := range seeds {
+		for _, url := range urls {
+			for r := 0; r < perTarget; r++ {
+				wg.Add(1)
+				go func(ki int, seed uint64, url string) {
+					defer wg.Done()
+					status, body := postSimulate(t, url, simBody(seed))
+					if status != http.StatusOK {
+						t.Errorf("seed %d via %s: HTTP %d: %s", seed, url, status, body)
+						return
+					}
+					replies <- reply{key: ki, body: body}
+				}(ki, seed, url)
+			}
+		}
+	}
+	wg.Wait()
+	close(replies)
+
+	refs := make([][]sre.Result, len(seeds))
+	for rep := range replies {
+		got := decodeSimulate(t, rep.body).Results
+		if refs[rep.key] == nil {
+			refs[rep.key] = got
+			continue
+		}
+		if !reflect.DeepEqual(refs[rep.key], got) {
+			t.Fatalf("seed %d: forwarded and owned results differ:\n%+v\nvs\n%+v",
+				seeds[rep.key], refs[rep.key], got)
+		}
+	}
+
+	// Exactly one build per key cluster-wide: forwarding moved the
+	// requests, not the networks.
+	builds := srvs[0].Registry().Builds() + srvs[1].Registry().Builds()
+	if builds != int64(len(seeds)) {
+		t.Fatalf("cluster-wide builds = %d, want %d (one per key)", builds, len(seeds))
+	}
+	for i, srv := range srvs {
+		if got := srv.Registry().Builds(); got != 1 {
+			t.Errorf("replica %d built %d networks, want 1 (each owns one key)", i, got)
+		}
+	}
+	// Each replica forwarded the requests for the key it does not own.
+	for i, url := range urls {
+		m := scrapeMetrics(t, url)
+		if got := m["sre_serve_forwarded_total"]; got != perTarget {
+			t.Errorf("replica %d forwarded %v requests, want %d", i, got, perTarget)
+		}
+		if got := m["sre_serve_forward_errors_total"]; got != 0 {
+			t.Errorf("replica %d forward errors = %v, want 0", i, got)
+		}
+	}
+}
+
+// TestForwardLoopGuard pins the one-hop rule: a request that already
+// carries the forwarded stamp is answered locally even by a replica
+// that does not own its key — never re-forwarded.
+func TestForwardLoopGuard(t *testing.T) {
+	srvs, urls, addrs := startCluster(t, 2, nil)
+	ring := srvs[0].cluster.ring
+	seedA := seedOwnedBy(t, ring, addrs[0]) // owned by replica 0
+
+	// Hand replica 1 a pre-stamped request for replica 0's key.
+	req, err := http.NewRequest(http.MethodPost, urls[1]+"/v1/simulate",
+		bytes.NewReader([]byte(simBody(seedA))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardHeader, addrs[0])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stamped mis-owned request: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	// Replica 1 must have served it itself: one local build, zero
+	// forwards from either replica (replica 0 never saw the request).
+	if got := srvs[1].Registry().Builds(); got != 1 {
+		t.Fatalf("replica 1 builds = %d, want 1 (stamped request served locally)", got)
+	}
+	if got := srvs[0].Registry().Builds(); got != 0 {
+		t.Fatalf("replica 0 builds = %d, want 0 (request must not bounce back)", got)
+	}
+	for i, url := range urls {
+		if got := scrapeMetrics(t, url)["sre_serve_forwarded_total"]; got != 0 {
+			t.Fatalf("replica %d forwarded %v requests, want 0", i, got)
+		}
+	}
+}
+
+// TestForwardPropagatesRetryAfter is the regression test for the 503
+// path: a forwarded 503 reaches the client with Retry-After: 1 and the
+// owner's error body intact.
+func TestForwardPropagatesRetryAfter(t *testing.T) {
+	var stamped bool
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stamped = r.Header.Get(ForwardHeader) != ""
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "stub owner saturated"})
+	}))
+	defer stub.Close()
+	stubAddr := stub.Listener.Addr().String()
+
+	var srv *Server
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+	}))
+	selfAddr := ts.Listener.Addr().String()
+	srv = NewServer(Options{Peers: []string{selfAddr, stubAddr}, Self: selfAddr})
+	ts.Start()
+	defer ts.Close()
+
+	seed := seedOwnedBy(t, srv.cluster.ring, stubAddr)
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+		strings.NewReader(simBody(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("forwarded 503: got HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("forwarded 503 Retry-After = %q, want \"1\"", got)
+	}
+	if !strings.Contains(string(body), "stub owner saturated") {
+		t.Fatalf("owner's error body not relayed verbatim: %s", body)
+	}
+	if !stamped {
+		t.Fatal("forwarded request did not carry the one-hop stamp")
+	}
+}
+
+// TestForwardPropagatesCachedFlag: the second request for a forwarded
+// key is served from the owner's result cache, and the cached flag
+// (plus the bit-identical Results) survives the hop.
+func TestForwardPropagatesCachedFlag(t *testing.T) {
+	srvs, urls, addrs := startCluster(t, 2, nil)
+	seed := seedOwnedBy(t, srvs[0].cluster.ring, addrs[1]) // owned by the *other* replica
+
+	status, first := postSimulate(t, urls[0], simBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("first forwarded request: HTTP %d: %s", status, first)
+	}
+	status, second := postSimulate(t, urls[0], simBody(seed))
+	if status != http.StatusOK {
+		t.Fatalf("second forwarded request: HTTP %d: %s", status, second)
+	}
+	r1, r2 := decodeSimulate(t, first), decodeSimulate(t, second)
+	if r1.Cached {
+		t.Fatal("first forwarded request claims cached")
+	}
+	if !r2.Cached {
+		t.Fatal("repeated forwarded request not served from the owner's result cache")
+	}
+	if !reflect.DeepEqual(r1.Results, r2.Results) {
+		t.Fatalf("cached forwarded results differ:\n%+v\nvs\n%+v", r1.Results, r2.Results)
+	}
+}
+
+// TestForwardPeerDown: a key owned by an unreachable peer yields a
+// retryable 503, not a local build or a hang.
+func TestForwardPeerDown(t *testing.T) {
+	// Reserve a port, then close it, so the "peer" deterministically
+	// refuses connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	var srv *Server
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srv.ServeHTTP(w, r)
+	}))
+	selfAddr := ts.Listener.Addr().String()
+	srv = NewServer(Options{Peers: []string{selfAddr, deadAddr}, Self: selfAddr})
+	ts.Start()
+	defer ts.Close()
+
+	seed := seedOwnedBy(t, srv.cluster.ring, deadAddr)
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+		strings.NewReader(simBody(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("peer-down forward: got HTTP %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("peer-down 503 Retry-After = %q, want \"1\"", got)
+	}
+	if got := srv.Registry().Builds(); got != 0 {
+		t.Fatalf("peer-down forward built locally (%d builds); ownership must stay with the ring", got)
+	}
+	if got := scrapeMetrics(t, ts.URL)["sre_serve_forward_errors_total"]; got != 1 {
+		t.Fatalf("sre_serve_forward_errors_total = %v, want 1", got)
+	}
+}
+
+// TestNetworksResidentDetail: /v1/networks reports per-network size,
+// pin count, and (cluster mode) the owning replica.
+func TestNetworksResidentDetail(t *testing.T) {
+	srvs, urls, addrs := startCluster(t, 2, nil)
+	seed := seedOwnedBy(t, srvs[0].cluster.ring, addrs[0])
+	if status, body := postSimulate(t, urls[0], simBody(seed)); status != http.StatusOK {
+		t.Fatalf("simulate: HTTP %d: %s", status, body)
+	}
+
+	resp, err := http.Get(urls[0] + "/v1/networks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var nr NetworksResponse
+	if err := json.NewDecoder(resp.Body).Decode(&nr); err != nil {
+		t.Fatal(err)
+	}
+	if nr.Self != addrs[0] || len(nr.Peers) != 2 {
+		t.Fatalf("cluster shape not reported: self=%q peers=%v", nr.Self, nr.Peers)
+	}
+	if len(nr.ResidentDetail) != 1 {
+		t.Fatalf("resident_detail = %+v, want exactly the one built network", nr.ResidentDetail)
+	}
+	d := nr.ResidentDetail[0]
+	if d.Key != nr.Resident[0] {
+		t.Fatalf("detail key %q != resident key %q", d.Key, nr.Resident[0])
+	}
+	if d.SizeBytes <= 0 {
+		t.Fatalf("resident size_bytes = %d, want > 0", d.SizeBytes)
+	}
+	if d.Pinned != 0 {
+		t.Fatalf("resident pinned = %d, want 0 (no sweep in flight)", d.Pinned)
+	}
+	if d.Owner != addrs[0] {
+		t.Fatalf("resident owner = %q, want %q", d.Owner, addrs[0])
+	}
+}

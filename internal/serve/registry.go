@@ -89,6 +89,7 @@ type Registry struct {
 	cap     int64     // <= 0: unbounded (no eviction)
 	bytes   int64     // accounted SizeBytes of ready entries
 	builds  atomic.Int64
+	buildsC *metrics.Counter // mirrors builds into /metrics (nil-safe)
 
 	evictions    *metrics.Counter // networks evicted under the byte cap
 	evictedBytes *metrics.Counter // their summed size estimates
@@ -170,6 +171,7 @@ func (r *Registry) Get(ctx context.Context, key Key) (*sre.Network, func(), erro
 // colder entries), failure drops it.
 func (r *Registry) build(e *regEntry) {
 	r.builds.Add(1)
+	r.buildsC.Inc()
 	opts := []sre.Option{sre.WithConfig(e.key.Config()), sre.WithPrune(e.key.Prune)}
 	if r.snapshotDir != "" {
 		opts = append(opts, sre.WithSnapshotDir(r.snapshotDir))
@@ -269,6 +271,12 @@ func (r *Registry) UseSnapshots(dir string, hits, misses *metrics.Counter) {
 	r.snapshotMisses = misses
 }
 
+// CountBuilds mirrors the build count into a metrics counter
+// (nil-safe), so "exactly one build per key cluster-wide" is checkable
+// from every replica's /metrics, not just its /v1/networks. Call
+// before serving begins (it is not synchronized against Get).
+func (r *Registry) CountBuilds(c *metrics.Counter) { r.buildsC = c }
+
 // Builds returns how many network builds the registry has started —
 // the singleflight invariant under test: N concurrent same-key
 // requests must move this by exactly 1.
@@ -280,6 +288,35 @@ func (r *Registry) ResidentBytes() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.bytes
+}
+
+// ResidentInfo is one resident network's observability row: its key,
+// the accounted size estimate, and how many callers currently pin it
+// (sweeps running against it — pinned entries are never evicted).
+type ResidentInfo struct {
+	Key       Key
+	SizeBytes int64
+	Pinned    int
+}
+
+// Resident lists the resident (successfully built) entries with their
+// accounted sizes and pin counts, sorted by key String form for stable
+// /v1/networks output.
+func (r *Registry) Resident() []ResidentInfo {
+	r.mu.Lock()
+	out := make([]ResidentInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, ResidentInfo{Key: e.key, SizeBytes: e.size, Pinned: e.refs})
+			}
+		default: // still building; not resident yet
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
 }
 
 // Keys lists the resident (successfully built) keys, sorted by their

@@ -59,6 +59,18 @@ type Options struct {
 	// bytes (default 0 = unbounded). Past the cap the least-recently-
 	// used networks not pinned by a running sweep are evicted.
 	RegistryBytes int64
+	// Peers lists every replica address of a sharded cluster,
+	// including this one (order-insensitive; empty = single-replica
+	// mode, byte-identical to pre-cluster behavior). Registry keys are
+	// partitioned over the peers by consistent hashing, and requests
+	// for keys this replica does not own are forwarded one hop to the
+	// owner.
+	Peers []string
+	// Self is this replica's own address as it appears in Peers.
+	// Required when Peers is non-empty; NewServer panics if it is
+	// missing from the list (a misconfigured replica would silently
+	// forward its own keys away).
+	Self string
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +105,7 @@ type Server struct {
 	registry *Registry
 	gate     *Gate
 	batcher  *Batcher
+	cluster  *cluster // nil in single-replica mode
 	mux      *http.ServeMux
 	stop     context.CancelFunc // cancels the sweeps' base context
 
@@ -122,6 +135,14 @@ func NewServer(opts Options) *Server {
 		inflight: shard.Gauge("sre_serve_inflight_requests"),
 	}
 	s.gate.Track(s.inflight)
+	s.registry.CountBuilds(shard.Counter("sre_serve_registry_builds_total"))
+	if len(opts.Peers) > 0 {
+		c, err := newCluster(opts.Peers, opts.Self, shard)
+		if err != nil {
+			panic(err) // startup misconfiguration; cmd/sreserved validates first
+		}
+		s.cluster = c
+	}
 	if opts.SnapshotDir != "" {
 		s.registry.UseSnapshots(opts.SnapshotDir,
 			shard.Counter("sre_serve_snapshot_hits_total"),
@@ -265,8 +286,24 @@ type NetworksResponse struct {
 	Networks []string `json:"networks"`
 	// Resident lists the built, cached design points.
 	Resident []string `json:"resident"`
+	// ResidentDetail reports, per resident design point, the accounted
+	// size, the pin count (sweeps currently running against it), and —
+	// in cluster mode — the replica the ring says owns it, so eviction
+	// and rebalancing behavior are observable from the outside.
+	ResidentDetail []ResidentNetwork `json:"resident_detail,omitempty"`
 	// Builds counts network builds since startup.
 	Builds int64 `json:"builds"`
+	// Self and Peers describe the cluster shape (cluster mode only).
+	Self  string   `json:"self,omitempty"`
+	Peers []string `json:"peers,omitempty"`
+}
+
+// ResidentNetwork is one resident design point's observability row.
+type ResidentNetwork struct {
+	Key       string `json:"key"`
+	SizeBytes int64  `json:"size_bytes"`
+	Pinned    int    `json:"pinned"`
+	Owner     string `json:"owner,omitempty"` // cluster mode: ring owner
 }
 
 type errorResponse struct {
@@ -279,14 +316,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
-	keys := s.registry.Keys()
+	resident := s.registry.Resident()
 	resp := NetworksResponse{
 		Networks: sre.Networks(),
-		Resident: make([]string, len(keys)),
+		Resident: make([]string, len(resident)),
 		Builds:   s.registry.Builds(),
 	}
-	for i, k := range keys {
-		resp.Resident[i] = k.String()
+	if len(resident) > 0 {
+		resp.ResidentDetail = make([]ResidentNetwork, len(resident))
+	}
+	for i, ri := range resident {
+		ks := ri.Key.String()
+		resp.Resident[i] = ks
+		if resp.ResidentDetail != nil {
+			resp.ResidentDetail[i] = ResidentNetwork{Key: ks, SizeBytes: ri.SizeBytes, Pinned: ri.Pinned}
+			if s.cluster != nil {
+				resp.ResidentDetail[i].Owner = s.cluster.ring.Owner(ks)
+			}
+		}
+	}
+	if s.cluster != nil {
+		resp.Self = s.cluster.self
+		resp.Peers = s.cluster.ring.Nodes()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -302,6 +353,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
+	}
+
+	// Cluster mode: a key this replica does not own is proxied one hop
+	// to its owner — before admission, so forwarded traffic queues at
+	// the owner's gate, not twice. A request already stamped by a peer
+	// is answered locally no matter what this replica's ring says
+	// (one-hop cap: disagreeing rings can mis-place a key, never loop).
+	if s.cluster != nil && r.Header.Get(ForwardHeader) == "" {
+		if owner, local := s.cluster.owner(key); !local {
+			s.forward(w, r, owner, req)
+			return
+		}
 	}
 
 	if err := s.gate.Enter(); err != nil {

@@ -1,0 +1,167 @@
+// Package shard decides which replica of a sharded sreserved cluster
+// owns a given registry key. The primitive is a deterministic
+// consistent-hash ring: every replica contributes a fixed number of
+// virtual nodes (hash points), a key is owned by the replica whose
+// point is first clockwise from the key's hash, and — because the
+// point set of the surviving replicas is unchanged when one replica
+// joins or leaves — membership changes remap only the keys adjacent to
+// the moved points, ~K/n of K keys for one of n replicas (the
+// minimal-remap property the package tests pin).
+//
+// Determinism is the load-bearing requirement: every replica computes
+// ownership locally from nothing but the shared peer list, so the ring
+// sorts and de-duplicates that list before placing points — replicas
+// handed the same addresses in different orders agree on every key —
+// and hash collisions between points (possible, if vanishingly rare,
+// with 64-bit FNV) are broken by highest-random-weight (rendezvous)
+// hashing of (key, node) rather than by placement order.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-replica point count used when New is
+// given vnodes <= 0. 128 points per replica keeps the expected
+// per-replica load within a few percent of uniform for small clusters
+// while the whole ring for a dozen replicas still fits in L1.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a fixed replica set.
+// Create one with New; all methods are safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted, de-duplicated
+	points []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a replica.
+type point struct {
+	hash uint64
+	node int32 // index into nodes
+}
+
+// New builds a ring over nodes (replica addresses; order-insensitive,
+// duplicates ignored) with the given number of virtual nodes per
+// replica (<= 0 selects DefaultVirtualNodes). At least one node is
+// required.
+func New(nodes []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("shard: empty node address")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]point, 0, len(uniq)*vnodes)}
+	for i, n := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := hashString(n + "#" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the replica that owns key: the node of the first ring
+// point at or clockwise of the key's hash, wrapping past the top. When
+// several points share that exact hash (a 64-bit collision), the tie
+// is broken by rendezvous hashing of (key, node), so ownership never
+// depends on point placement order.
+func (r *Ring) Owner(key string) string {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	winner := r.points[i]
+	// Collision tiebreak: scan the run of points sharing the chosen
+	// hash (almost always length 1) and keep the rendezvous winner.
+	for j := i + 1; j < len(r.points) && r.points[j].hash == winner.hash; j++ {
+		if r.points[j].node == winner.node {
+			continue
+		}
+		if hashPair(key, r.nodes[r.points[j].node]) > hashPair(key, r.nodes[winner.node]) {
+			winner = r.points[j]
+		}
+	}
+	return r.nodes[winner.node]
+}
+
+// Nodes returns the ring's replica set, sorted and de-duplicated.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Contains reports whether node is a member of the ring.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// FNV-1a, 64-bit, finished with a murmur-style mixer. Inlined rather
+// than hash/fnv so Owner stays allocation-free on the serve hot path.
+// The finalizer is load-bearing: raw FNV-1a of two strings that differ
+// only in a short suffix (registry keys differ only in their trailing
+// seed digits) differ by roughly suffixDelta x prime ≈ 2^40, far
+// smaller than the ~2^56 average gap between ring points, so without
+// mixing, whole families of adjacent keys collapse onto one owner.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mix64 is the splitmix64/murmur3 finalizer: full avalanche, so every
+// input bit flips each output bit with probability ~1/2.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// hashPair hashes (a, b) with a separator byte between the roles, for
+// the rendezvous tiebreak.
+func hashPair(a, b string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff
+	h *= fnvPrime64
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func nodeSet(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("127.0.0.1:%d", 18400+i)
+	}
+	return nodes
+}
+
+func keySet(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		// Shaped like the serve registry key's String form.
+		keys[i] = fmt.Sprintf("VGG-16/ssl/xbar128/ou8x8/w16a16/cell2/dac1/seed%d", i)
+	}
+	return keys
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("New(nil) should fail: a ring needs at least one node")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("New with an empty address should fail")
+	}
+	r, err := New([]string{"a", "a", "a"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("duplicates not collapsed: %v", got)
+	}
+}
+
+// TestDeterministicAndOrderIndependent pins the property every replica
+// relies on: ownership is a pure function of the (unordered) peer set,
+// so replicas handed the same addresses in different orders agree on
+// every key.
+func TestDeterministicAndOrderIndependent(t *testing.T) {
+	nodes := nodeSet(5)
+	keys := keySet(2000)
+	ref, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Owner(k)
+		if !ref.Contains(want[i]) {
+			t.Fatalf("Owner(%q) = %q not in ring", k, want[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			if got := r.Owner(k); got != want[i] {
+				t.Fatalf("trial %d: Owner(%q) = %q, want %q (peer order must not matter)",
+					trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRemoveRemapsOnlyOwnedKeys pins the exact half of the minimal-
+// remap property: removing one replica reassigns precisely the keys it
+// owned — every other key keeps its owner.
+func TestRemoveRemapsOnlyOwnedKeys(t *testing.T) {
+	nodes := nodeSet(5)
+	keys := keySet(5000)
+	full, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := nodes[2]
+	rest, err := New(append(append([]string(nil), nodes[:2]...), nodes[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		before := full.Owner(k)
+		after := rest.Owner(k)
+		if before == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %q -> %q though its owner stayed in the ring", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed node owned no keys; ring badly unbalanced")
+	}
+}
+
+// TestAddRemapsAboutKOverN pins the statistical half: adding one
+// replica to n should steal about K/(n+1) keys, and never more than
+// twice that.
+func TestAddRemapsAboutKOverN(t *testing.T) {
+	nodes := nodeSet(5)
+	keys := keySet(10000)
+	small, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New(append(append([]string(nil), nodes...), "127.0.0.1:19999"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		before, after := small.Owner(k), grown.Owner(k)
+		if before != after {
+			if after != "127.0.0.1:19999" {
+				t.Fatalf("key %q moved %q -> %q: an added node may only steal keys, never shuffle survivors", k, before, after)
+			}
+			moved++
+		}
+	}
+	ideal := len(keys) / (len(nodes) + 1)
+	if moved > 2*ideal {
+		t.Fatalf("adding 1 of %d nodes remapped %d of %d keys (ideal ~%d, cap 2x)",
+			len(nodes)+1, moved, len(keys), ideal)
+	}
+	if moved < ideal/4 {
+		t.Fatalf("adding a node stole only %d of %d keys (ideal ~%d); ring badly unbalanced", moved, len(keys), ideal)
+	}
+}
+
+// TestBalance sanity-checks the virtual-node count: no replica's share
+// strays wildly from uniform.
+func TestBalance(t *testing.T) {
+	nodes := nodeSet(4)
+	keys := keySet(8000)
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	ideal := len(keys) / len(nodes)
+	for _, n := range nodes {
+		c := counts[n]
+		if c < ideal/3 || c > 3*ideal {
+			t.Fatalf("node %s owns %d of %d keys (ideal ~%d): balance off by >3x", n, c, len(keys), ideal)
+		}
+	}
+}
+
+// TestAdjacentKeysSpread is the avalanche regression: registry keys
+// that differ only in their trailing seed digit (the common shape of a
+// design-point sweep) must not collapse onto one owner. Raw FNV-1a
+// without a finalizer fails this — consecutive suffixes land within
+// ~2^42 of each other, far inside one ring gap.
+func TestAdjacentKeysSpread(t *testing.T) {
+	r, err := New([]string{"127.0.0.1:18401", "127.0.0.1:18402"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := map[string]int{}
+	for seed := 0; seed < 16; seed++ {
+		owners[r.Owner(fmt.Sprintf("MNIST/ssl/xbar128/ou8x8/w16a16/cell2/dac1/seed%d", 1000+seed))]++
+	}
+	if len(owners) < 2 {
+		t.Fatalf("16 adjacent keys all owned by one node (%v): hash avalanche broken", owners)
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r, err := New(nodeSet(3), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := keySet(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(keys[i&63])
+	}
+}

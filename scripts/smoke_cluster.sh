@@ -1,0 +1,113 @@
+#!/bin/sh
+# End-to-end smoke test for sharded sreserved: boot two replicas on
+# loopback that name each other in -peers, drive design points owned by
+# each replica through ONE replica (so the mis-owned ones must be
+# forwarded), and assert the sharding contract from the outside:
+#   - every response arrives 200 with simulation results,
+#   - exactly one build per key cluster-wide (/metrics
+#     sre_serve_registry_builds_total summed over the replicas),
+#   - the driven replica actually forwarded (sre_serve_forwarded_total),
+#   - each replica owns at least one of the keys (resident on both),
+#   - a forwarded repeat is served from the owner's result cache
+#     bit-identically,
+#   - both replicas drain cleanly on SIGTERM.
+# Usage: smoke_cluster.sh <path-to-sreserved-binary>
+set -eu
+
+BIN=${1:?usage: smoke_cluster.sh <sreserved binary>}
+ADDR_A=127.0.0.1:18401
+ADDR_B=127.0.0.1:18402
+BASE_A=http://$ADDR_A
+BASE_B=http://$ADDR_B
+PEERS=$ADDR_A,$ADDR_B
+
+# MNIST with build seeds 1000..1003: the ring at these fixed addresses
+# assigns 1000/1002/1003 to A and 1001 to B (deterministic — the ring
+# is a pure function of the peer list), so driving all four through A
+# exercises both the local and the forwarded path.
+SEEDS="1000 1001 1002 1003"
+NKEYS=4
+
+"$BIN" -addr "$ADDR_A" -peers "$PEERS" -grace 30s &
+PID_A=$!
+"$BIN" -addr "$ADDR_B" -peers "$PEERS" -grace 30s &
+PID_B=$!
+trap 'kill "$PID_A" "$PID_B" 2>/dev/null || true' EXIT
+
+for base in "$BASE_A" "$BASE_B"; do
+	i=0
+	until curl -sf "$base/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "smoke-cluster: replica $base never became healthy" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+echo "smoke-cluster: both replicas healthy"
+
+req() { # $1 = seed
+	printf '{"network":"MNIST","modes":["baseline","orc+dof"],"config":{"seed":%s,"max_windows":6},"timeout_ms":60000}' "$1"
+}
+
+# Drive every key through replica A only; mis-owned keys must forward.
+for seed in $SEEDS; do
+	OUT=$(curl -sf -X POST "$BASE_A/v1/simulate" -d "$(req "$seed")")
+	echo "$OUT" | grep -q '"Cycles"'
+	echo "$OUT" | grep -q '"cached": false'
+done
+echo "smoke-cluster: all $NKEYS keys served through replica A"
+
+# Exactly one build per key cluster-wide: forwarding moved requests,
+# not networks.
+BUILDS_A=$(curl -sf "$BASE_A/metrics" | awk '/^sre_serve_registry_builds_total /{print $2}')
+BUILDS_B=$(curl -sf "$BASE_B/metrics" | awk '/^sre_serve_registry_builds_total /{print $2}')
+if [ "$((BUILDS_A + BUILDS_B))" -ne "$NKEYS" ]; then
+	echo "smoke-cluster: cluster-wide builds = $BUILDS_A + $BUILDS_B, want $NKEYS (one per key)" >&2
+	exit 1
+fi
+if [ "$BUILDS_A" -lt 1 ] || [ "$BUILDS_B" -lt 1 ]; then
+	echo "smoke-cluster: ownership did not split ($BUILDS_A/$BUILDS_B builds); every replica should own >=1 key" >&2
+	exit 1
+fi
+echo "smoke-cluster: exactly one build per key cluster-wide ($BUILDS_A on A, $BUILDS_B on B)"
+
+FWD_A=$(curl -sf "$BASE_A/metrics" | awk '/^sre_serve_forwarded_total /{print $2}')
+if [ "${FWD_A:-0}" -ne "$BUILDS_B" ]; then
+	echo "smoke-cluster: replica A forwarded $FWD_A requests, want $BUILDS_B (one per B-owned key)" >&2
+	exit 1
+fi
+echo "smoke-cluster: replica A forwarded $FWD_A request(s) to B"
+
+# A forwarded repeat: answered from the owner's result cache, relayed
+# bit-identically (only the cached flag may differ from the first run).
+FWD_SEED=1001 # owned by B per the fixed ring above
+FIRST=$(curl -sf -X POST "$BASE_A/v1/simulate" -d "$(req $FWD_SEED)")
+SECOND=$(curl -sf -X POST "$BASE_A/v1/simulate" -d "$(req $FWD_SEED)")
+echo "$SECOND" | grep -q '"cached": true'
+if [ "$(echo "$FIRST" | sed 's/"cached": false/"cached": true/')" != "$SECOND" ]; then
+	echo "smoke-cluster: forwarded cached repeat differs from the first forwarded response" >&2
+	exit 1
+fi
+echo "smoke-cluster: forwarded repeat served from the owner's cache, bit-identical"
+
+# /v1/networks observability: both replicas resident, owners reported.
+curl -sf "$BASE_B/v1/networks" | grep -q '"owner"'
+curl -sf "$BASE_B/v1/networks" | grep -q '"size_bytes"'
+echo "smoke-cluster: /v1/networks reports resident detail with owners"
+
+kill -TERM "$PID_A" "$PID_B"
+STATUS=0
+wait "$PID_A" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+	echo "smoke-cluster: replica A exited $STATUS on SIGTERM (want 0)" >&2
+	exit 1
+fi
+wait "$PID_B" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+	echo "smoke-cluster: replica B exited $STATUS on SIGTERM (want 0)" >&2
+	exit 1
+fi
+echo "smoke-cluster: both replicas drained cleanly"

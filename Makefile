@@ -30,7 +30,7 @@ BENCH_COUNT ?= 1
 BENCH_PATTERN = BenchmarkSimulateLayer|BenchmarkVGG16Sweep|BenchmarkBatchedSweep
 BENCH_PATTERN_BITSET = BenchmarkCountWords|BenchmarkCountAndPlanes|BenchmarkBuildSliceMasks
 
-.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart bench-load bench-cluster snapshot-roundtrip results profile clean
+.PHONY: all build vet test race bench-smoke smoke verify bench bench-rebaseline bench-quick bench-sweep bench-compare bench-coldstart bench-load bench-cluster experiments snapshot-roundtrip results profile clean
 
 all: verify
 
@@ -151,6 +151,18 @@ bench-cluster:
 	$(GO) build -o bin/sreserved ./cmd/sreserved
 	$(GO) build -o bin/sreload ./cmd/sreload
 	./scripts/bench_cluster.sh ./bin/sreserved ./bin/sreload $(BENCH_CLUSTER_OUT)
+
+# experiments records the PR 10 WSS composability table: every Table 2
+# network rebuilt with a 2-slice weight cap and run under orc+dof, wss,
+# and orc+dof+wss, into $(BENCH_EXP_OUT) — the orc+dof+wss rows must
+# show a cycles reduction over plain orc+dof on the same capped
+# weights. EXP_FLAGS=-quick trims to MNIST+CIFAR-10 (the CI leg).
+BENCH_EXP_OUT ?= BENCH_PR10.json
+EXP_FLAGS ?=
+experiments:
+	$(GO) build -o bin/srebench ./cmd/srebench
+	./bin/srebench -experiment pr10-wss -json $(EXP_FLAGS) > $(BENCH_EXP_OUT)
+	@echo "wrote $(BENCH_EXP_OUT)"
 
 # snapshot-roundtrip drives the artifact format end to end through the
 # CLI: build + persist, reload from the snapshot dir, diff the outputs.

@@ -6,6 +6,8 @@
 //	sresim -network VGG-16 -mode orc+dof
 //	sresim -network MNIST -mode dof -ou 32 -cellbits 4 -layers
 //	sresim -network CaffeNet -prune gsl -mode orc
+//	sresim -network CIFAR-10 -mode orc+dof+wss -slicecap 2
+//	sresim -modes
 //	sresim -network VGG-16 -mode orc+dof -workers 8 -progress
 //	sresim -network VGG-16 -mode orc+dof -metrics run.json
 //	sresim -network MNIST -mode dof -metrics run.prom -metrics-format prom
@@ -32,13 +34,15 @@ func main() {
 	var (
 		network   = flag.String("network", "MNIST", "network name (see -networks)")
 		networks  = flag.Bool("networks", false, "list available networks")
-		modeName  = flag.String("mode", "orc+dof", "baseline|naive|recom|orc|dof|orc+dof|occ")
+		modeName  = flag.String("mode", "orc+dof", modeHelp())
+		modes     = flag.Bool("modes", false, "list available modes")
 		pruneStr  = flag.String("prune", "ssl", "ssl|gsl|dense")
 		ou        = flag.Int("ou", 16, "square OU size")
 		xbar      = flag.Int("crossbar", 128, "crossbar dimension")
 		cellBits  = flag.Int("cellbits", 2, "bits per ReRAM cell")
 		dacBits   = flag.Int("dacbits", 1, "DAC resolution bits")
 		windows   = flag.Int("windows", 48, "per-layer window sampling cap (0 = all)")
+		sliceCap  = flag.Int("slicecap", 0, "cap weights to n bit slices at build time (0 = off; see wss mode)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		workers   = cli.AddWorkers(flag.CommandLine)
 		snapDir   = cli.AddSnapshotDir(flag.CommandLine)
@@ -67,6 +71,13 @@ func main() {
 		}
 		return
 	}
+	if *modes {
+		for _, m := range sre.Modes() {
+			fmt.Println(m)
+		}
+		fmt.Println("occ")
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -81,6 +92,7 @@ func main() {
 		sre.WithCellBits(*cellBits),
 		sre.WithDACBits(*dacBits),
 		sre.WithMaxWindows(*windows),
+		sre.WithSliceCap(*sliceCap),
 		sre.WithSeed(*seed),
 		sre.WithWorkers(*workers),
 	}
@@ -142,6 +154,17 @@ func main() {
 			ires.Seconds, ires.Energy.Total(),
 			res.Seconds/ires.Seconds, res.Energy.Total()/ires.Energy.Total())
 	}
+}
+
+// modeHelp derives the -mode usage string from the registry, so a
+// newly registered mode shows up in -help without touching this file;
+// occ rides along because it runs through RunOCC, not RunContext.
+func modeHelp() string {
+	names := make([]string, 0, len(sre.Modes())+1)
+	for _, m := range sre.Modes() {
+		names = append(names, m.String())
+	}
+	return strings.Join(append(names, "occ"), "|")
 }
 
 func fatal(err error) {

@@ -20,7 +20,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	results, err := net.RunAll() // all six modes, in sre.Modes() order
+	results, err := net.RunAll() // every mode, in sre.Modes() order
 	if err != nil {
 		log.Fatal(err)
 	}

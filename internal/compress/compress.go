@@ -46,6 +46,14 @@ const (
 	// structure type (OCCStructure) because it compresses along the other
 	// axis; Plan rejects it.
 	OCC
+	// WSS is weight-bit-slice skipping (ROADMAP bit-slice item; SME
+	// arXiv:2103.01705, Bit-Slice Sparsity arXiv:1909.08496): weights are
+	// mapped slice-major, so each OU column group holds same-significance
+	// cell slices of S_BL weights, and rows whose cells in that slice
+	// group are all zero are skipped. An all-zero slice produces an empty
+	// group — zero OUs, zero driven wordlines, no eDRAM fetch — which is
+	// how high-order slices of magnitude-skewed weights vanish.
+	WSS
 )
 
 func (s Scheme) String() string {
@@ -62,8 +70,45 @@ func (s Scheme) String() string {
 		return "ideal"
 	case OCC:
 		return "occ"
+	case WSS:
+		return "wss"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// ReordersInputs reports whether the scheme keeps a per-group row order
+// different from the physical crossbar order, so the simulator must
+// fetch each group's inputs separately from eDRAM (one fetch per group
+// rather than one per tile). True for the per-group row-compressing
+// schemes (ORC, WSS).
+func (s Scheme) ReordersInputs() bool { return s == ORC || s == WSS }
+
+// ComposesWithDOF reports whether the scheme can combine with Dynamic
+// OU Formation. OCC compresses along the column axis, which conflicts
+// with DOF's row regrouping (paper Fig. 10); every row-compressing
+// scheme composes.
+func (s Scheme) ComposesWithDOF() bool { return s != OCC }
+
+// RequiresSlicePlanes reports whether the scheme needs the structure's
+// weight-slice group planes (built by Build, carried by snapshots as a
+// separate plane section). Only WSS reads them.
+func (s Scheme) RequiresSlicePlanes() bool { return s == WSS }
+
+// FetchGroups returns the per-batch eDRAM fetch count of one tile with
+// the given total and non-empty OU column group counts. Input-order-
+// preserving schemes fetch the batch once; ORC fetches once per group
+// (its per-group row orders diverge — the Fig. 18 eDRAM effect); WSS
+// additionally skips the fetches of groups whose weight bit slice is
+// all zero (an empty group maps no OUs, so nothing reads the batch).
+func (s Scheme) FetchGroups(groups, nonEmpty int) int {
+	switch {
+	case s == WSS:
+		return nonEmpty
+	case s.ReordersInputs():
+		return groups
+	default:
+		return 1
+	}
 }
 
 // Source supplies quantized weight magnitude codes row-major without
@@ -125,6 +170,13 @@ type Structure struct {
 	// groups[rb][cb][g] has bit r set iff tile row r has a non-zero cell
 	// in group g's columns.
 	groups [][][]*bitset.Set
+	// sliceGroups is the same shape under the slice-major (WSS) mapping,
+	// where a weight's cell j lands at physical column j*cols + c instead
+	// of c*cpw + j: group g then holds same-significance slices of S_BL
+	// weights, and bit r is set iff tile row r has a non-zero cell in
+	// that slice group. Nil when the structure was decoded from a source
+	// without slice planes; WSS plans then cannot be built.
+	sliceGroups [][][]*bitset.Set
 	// nonZeroCells counts non-zero cells over the whole layer (Ideal).
 	nonZeroCells int64
 	// plans memoizes derived per-tile execution plans by
@@ -142,18 +194,8 @@ func Build(src Source, p quant.Params, g mapping.Geometry) *Structure {
 	rows, cols := src.Dims()
 	layout := mapping.NewLayout(rows, cols, p, g)
 	s := &Structure{Layout: layout, P: p}
-	s.groups = make([][][]*bitset.Set, layout.RowBlocks)
-	for rb := range s.groups {
-		s.groups[rb] = make([][]*bitset.Set, layout.ColBlocks)
-		tileRows := layout.TileRows(rb)
-		for cb := range s.groups[rb] {
-			gs := make([]*bitset.Set, layout.GroupsInTile(cb))
-			for gi := range gs {
-				gs[gi] = bitset.New(tileRows)
-			}
-			s.groups[rb][cb] = gs
-		}
-	}
+	s.groups = newGroupGrid(layout)
+	s.sliceGroups = newGroupGrid(layout)
 	cpw := p.CellsPerWeight()
 	mask := uint32(1)<<uint(p.CellBits) - 1
 	codes := make([]uint32, cols)
@@ -174,16 +216,65 @@ func Build(src Source, p quant.Params, g mapping.Geometry) *Structure {
 				cb := pc / g.XbarCols
 				gi := (pc % g.XbarCols) / g.SBL
 				s.groups[rb][cb][gi].Set(tr)
+				// Slice-major mapping: same physical-column count, so the
+				// tiling shape is identical; only the column index differs.
+				smpc := j*cols + c
+				scb := smpc / g.XbarCols
+				sgi := (smpc % g.XbarCols) / g.SBL
+				s.sliceGroups[rb][scb][sgi].Set(tr)
 			}
 		}
 	}
 	return s
 }
 
+// newGroupGrid allocates the per-(row block, column block, group) bitset
+// grid both mappings share.
+func newGroupGrid(layout mapping.Layout) [][][]*bitset.Set {
+	grid := make([][][]*bitset.Set, layout.RowBlocks)
+	for rb := range grid {
+		grid[rb] = make([][]*bitset.Set, layout.ColBlocks)
+		tileRows := layout.TileRows(rb)
+		for cb := range grid[rb] {
+			gs := make([]*bitset.Set, layout.GroupsInTile(cb))
+			for gi := range gs {
+				gs[gi] = bitset.New(tileRows)
+			}
+			grid[rb][cb] = gs
+		}
+	}
+	return grid
+}
+
 // GroupNonZeroRows returns the bitset of rows with any non-zero cell in
 // (rb, cb, gi). Callers must not mutate it.
 func (s *Structure) GroupNonZeroRows(rb, cb, gi int) *bitset.Set {
 	return s.groups[rb][cb][gi]
+}
+
+// HasSlicePlanes reports whether the structure carries the slice-major
+// group planes WSS plans derive from. Always true for built structures;
+// false only for structures decoded from a source without a slice-plane
+// section.
+func (s *Structure) HasSlicePlanes() bool { return s.sliceGroups != nil }
+
+// SliceGroupNonZeroRows returns the bitset of rows with a non-zero cell
+// in slice-major group (rb, cb, gi). Callers must not mutate it; panics
+// when HasSlicePlanes is false.
+func (s *Structure) SliceGroupNonZeroRows(rb, cb, gi int) *bitset.Set {
+	return s.sliceGroups[rb][cb][gi]
+}
+
+// schemeGroups returns the group grid a scheme's plans derive from: the
+// slice-major grid for WSS, the word-major grid otherwise.
+func (s *Structure) schemeGroups(scheme Scheme) [][][]*bitset.Set {
+	if scheme == WSS {
+		if s.sliceGroups == nil {
+			panic("compress: structure has no weight-slice planes (scheme wss)")
+		}
+		return s.sliceGroups
+	}
+	return s.groups
 }
 
 // TileNonZeroRows returns rows non-zero anywhere within tile (rb, cb) —
@@ -223,7 +314,7 @@ func (gp GroupPlan) RowCount() int { return len(gp.Rows) }
 
 // Plan computes the retained rows of group (rb, cb, gi) under scheme.
 // indexBits bounds the delta-encoded input indexes for schemes that
-// reorder inputs (Naive, ReCom, ORC); pass 0 to disable zero-padding
+// reorder inputs (Naive, ReCom, ORC, WSS); pass 0 to disable zero-padding
 // (unbounded indexes, each costing ceil(log2(XbarRows)) bits).
 func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
 	tileRows := s.Layout.TileRows(rb)
@@ -241,6 +332,8 @@ func (s *Structure) Plan(scheme Scheme, rb, cb, gi, indexBits int) GroupPlan {
 		keep = s.BlockNonZeroRows(rb)
 	case ORC, Ideal:
 		keep = s.groups[rb][cb][gi]
+	case WSS:
+		keep = s.schemeGroups(WSS)[rb][cb][gi]
 	default:
 		panic("compress: Plan does not support scheme " + scheme.String())
 	}
@@ -277,7 +370,7 @@ func (s *Structure) storagePlanned(scheme Scheme, indexBits int) (cells, storage
 				lo, hi := s.Layout.GroupCols(cb, gi)
 				cells += int64(gp.RowCount()) * int64(hi-lo)
 				switch scheme {
-				case ORC:
+				case ORC, WSS:
 					storage += gp.StorageBits
 				case Naive:
 					if !naiveCounted {
@@ -304,7 +397,11 @@ type statsCache struct {
 	m  map[planKey]planStats
 }
 
-type planStats struct{ cells, storage int64 }
+// planStats are the memoized per-(scheme, indexBits) totals: mapped
+// cells, index storage, and the number of OU column groups with no
+// retained rows at all (elided groups — for WSS these are the all-zero
+// weight bit slices the mode skips).
+type planStats struct{ cells, storage, emptyGroups int64 }
 
 // planStatsFor returns the memoized storagePlanned totals, computing
 // them once per key with the count-only scan. The per-Result ratio
@@ -365,12 +462,17 @@ func (s *Structure) computePlanStats(scheme Scheme, indexBits int) planStats {
 					rows, storage = blockRows, blockStorage
 				case ORC, Ideal:
 					rows, storage = plannedRowTotals(s.groups[rb][cb][gi], scheme, indexBits, absBits)
+				case WSS:
+					rows, storage = plannedRowTotals(s.schemeGroups(WSS)[rb][cb][gi], scheme, indexBits, absBits)
 				default:
 					panic("compress: Plan does not support scheme " + scheme.String())
 				}
+				if rows == 0 {
+					st.emptyGroups++
+				}
 				st.cells += rows * width
 				switch scheme {
-				case ORC:
+				case ORC, WSS:
 					st.storage += storage
 				case Naive:
 					if !naiveCounted {
@@ -442,6 +544,14 @@ func (s *Structure) IndexStorageBits(scheme Scheme, indexBits int) int64 {
 	return s.planStatsFor(scheme, indexBits).storage
 }
 
+// EmptyGroups returns the number of OU column groups the scheme retains
+// no rows for — groups the simulator elides entirely (no OUs, no driven
+// wordlines, no eDRAM fetch). Under WSS these are the all-zero weight
+// bit slices; memoized like CompressedCells.
+func (s *Structure) EmptyGroups(scheme Scheme, indexBits int) int64 {
+	return s.planStatsFor(scheme, indexBits).emptyGroups
+}
+
 // SizeBytes estimates the structure's resident memory: the per-group
 // non-zero-row masks (the dominant owned allocation — exactly the words
 // the snapshot plane persists) plus per-group bitset headers and a
@@ -457,7 +567,11 @@ func (s *Structure) SizeBytes() int64 {
 		groupsPerRow += lay.GroupsInTile(cb)
 	}
 	groups := int64(groupsPerRow) * int64(lay.RowBlocks)
-	return int64(s.PlaneWords())*8 + groups*48 + 512
+	planes := int64(1)
+	if s.sliceGroups != nil {
+		planes = 2 // the slice-major grid doubles the owned mask words
+	}
+	return planes*(int64(s.PlaneWords())*8+groups*48) + 512
 }
 
 // AbsoluteIndexBits returns the storage needed if absolute (non-delta)

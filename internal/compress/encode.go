@@ -54,13 +54,41 @@ func (s *Structure) AppendPlanes(dst []uint64) []uint64 {
 // Structure reports identical compression ratios.
 func (s *Structure) NonZeroCells() int64 { return s.nonZeroCells }
 
+// SlicePlaneWords returns the word count of the slice-major group plane
+// (identical tiling, so it equals PlaneWords), or 0 when the structure
+// carries no slice planes.
+func (s *Structure) SlicePlaneWords() int {
+	if s.sliceGroups == nil {
+		return 0
+	}
+	return s.PlaneWords()
+}
+
+// AppendSlicePlanes appends every slice-major group's non-zero-row mask
+// to dst in (rb, cb, gi) order — the layout SlicePlaneWords sizes and
+// NewStructureFromPlanes consumes as its slicePlanes argument. Appends
+// nothing when the structure carries no slice planes.
+func (s *Structure) AppendSlicePlanes(dst []uint64) []uint64 {
+	for rb := range s.sliceGroups {
+		for cb := range s.sliceGroups[rb] {
+			for _, g := range s.sliceGroups[rb][cb] {
+				dst = bitset.AppendPlane(dst, g)
+			}
+		}
+	}
+	return dst
+}
+
 // NewStructureFromPlanes rebuilds a Structure from a contiguous group
-// plane produced by AppendPlanes. The group bitsets adopt sub-slices of
-// planes without copying, so the caller must keep the slice alive and
-// must not mutate it afterwards — exactly the read-only contract built
-// Structures already obey. Derived state (plan sets, memoized stats)
-// rebuilds lazily and bit-identically on first use.
-func NewStructureFromPlanes(rows, cols int, p quant.Params, g mapping.Geometry, planes []uint64, nonZeroCells int64) (*Structure, error) {
+// plane produced by AppendPlanes, plus an optional slice-major plane
+// produced by AppendSlicePlanes (nil means the source carried none; the
+// structure then reports HasSlicePlanes false and cannot serve WSS).
+// The group bitsets adopt sub-slices of the planes without copying, so
+// the caller must keep the slices alive and must not mutate them
+// afterwards — exactly the read-only contract built Structures already
+// obey. Derived state (plan sets, memoized stats) rebuilds lazily and
+// bit-identically on first use.
+func NewStructureFromPlanes(rows, cols int, p quant.Params, g mapping.Geometry, planes, slicePlanes []uint64, nonZeroCells int64) (*Structure, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,13 +100,28 @@ func NewStructureFromPlanes(rows, cols int, p quant.Params, g mapping.Geometry, 
 	}
 	layout := mapping.NewLayout(rows, cols, p, g)
 	s := &Structure{Layout: layout, P: p, nonZeroCells: nonZeroCells}
-	s.groups = make([][][]*bitset.Set, layout.RowBlocks)
+	var err error
+	if s.groups, err = adoptGroupGrid(layout, planes); err != nil {
+		return nil, err
+	}
+	if slicePlanes != nil {
+		if s.sliceGroups, err = adoptGroupGrid(layout, slicePlanes); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// adoptGroupGrid rebuilds one group grid zero-copy from its flattened
+// plane.
+func adoptGroupGrid(layout mapping.Layout, planes []uint64) ([][][]*bitset.Set, error) {
+	grid := make([][][]*bitset.Set, layout.RowBlocks)
 	off := 0
-	for rb := range s.groups {
-		s.groups[rb] = make([][]*bitset.Set, layout.ColBlocks)
+	for rb := range grid {
+		grid[rb] = make([][]*bitset.Set, layout.ColBlocks)
 		tileRows := layout.TileRows(rb)
 		w := bitset.Words64(tileRows)
-		for cb := range s.groups[rb] {
+		for cb := range grid[rb] {
 			gs := make([]*bitset.Set, layout.GroupsInTile(cb))
 			for gi := range gs {
 				if off+w > len(planes) {
@@ -87,13 +130,13 @@ func NewStructureFromPlanes(rows, cols int, p quant.Params, g mapping.Geometry, 
 				gs[gi] = bitset.FromWords(tileRows, planes[off:off+w:off+w])
 				off += w
 			}
-			s.groups[rb][cb] = gs
+			grid[rb][cb] = gs
 		}
 	}
 	if off != len(planes) {
 		return nil, fmt.Errorf("compress: plane length mismatch: consumed %d of %d words", off, len(planes))
 	}
-	return s, nil
+	return grid, nil
 }
 
 // SeedPlanSet installs a pre-built plan set for (scheme, indexBits) in
@@ -233,6 +276,7 @@ func DecodePlanSet(data []byte, lay mapping.Layout) (*PlanSet, error) {
 				tp.Groups = groups
 				tp.RowCount = int64(groups) * int64(tileRows)
 				tp.OUs = int64(groups) * int64(xmath.CeilDiv(tileRows, lay.SWL))
+				tp.NonEmptyGroups = groups
 				continue
 			}
 			nGroups, err := get32()
@@ -284,6 +328,9 @@ func DecodePlanSet(data []byte, lay mapping.Layout) (*PlanSet, error) {
 				tp.Plane = bitset.AppendPlane(tp.Plane, bs)
 				tp.RowCount += int64(len(rows))
 				tp.OUs += int64(xmath.CeilDiv(len(rows), lay.SWL))
+				if len(rows) > 0 {
+					tp.NonEmptyGroups++
+				}
 			}
 		}
 	}

@@ -41,9 +41,17 @@ func TestStructurePlaneRoundTrip(t *testing.T) {
 			t.Fatalf("trial %d: AppendPlanes wrote %d words, PlaneWords says %d",
 				trial, len(planes), s.PlaneWords())
 		}
-		back, err := NewStructureFromPlanes(s.Layout.Rows, s.Layout.LogicalCols, p, g, planes, s.NonZeroCells())
+		slicePlanes := s.AppendSlicePlanes(make([]uint64, 0, s.SlicePlaneWords()))
+		if len(slicePlanes) != s.SlicePlaneWords() {
+			t.Fatalf("trial %d: AppendSlicePlanes wrote %d words, SlicePlaneWords says %d",
+				trial, len(slicePlanes), s.SlicePlaneWords())
+		}
+		back, err := NewStructureFromPlanes(s.Layout.Rows, s.Layout.LogicalCols, p, g, planes, slicePlanes, s.NonZeroCells())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !back.HasSlicePlanes() {
+			t.Fatalf("trial %d: decoded structure lost its slice planes", trial)
 		}
 		lay := s.Layout
 		if back.Layout != lay {
@@ -54,25 +62,29 @@ func TestStructurePlaneRoundTrip(t *testing.T) {
 				for gi := 0; gi < lay.GroupsInTile(cb); gi++ {
 					a := s.GroupNonZeroRows(rb, cb, gi)
 					b := back.GroupNonZeroRows(rb, cb, gi)
-					if a.Count() != b.Count() {
-						t.Fatalf("trial %d (%d,%d,%d): group count %d vs %d",
-							trial, rb, cb, gi, a.Count(), b.Count())
+					sa := s.SliceGroupNonZeroRows(rb, cb, gi)
+					sb := back.SliceGroupNonZeroRows(rb, cb, gi)
+					if a.Count() != b.Count() || sa.Count() != sb.Count() {
+						t.Fatalf("trial %d (%d,%d,%d): group count %d vs %d (slice %d vs %d)",
+							trial, rb, cb, gi, a.Count(), b.Count(), sa.Count(), sb.Count())
 					}
 					for row := 0; row < lay.TileRows(rb); row++ {
-						if a.Test(row) != b.Test(row) {
+						if a.Test(row) != b.Test(row) || sa.Test(row) != sb.Test(row) {
 							t.Fatalf("trial %d (%d,%d,%d): row %d differs", trial, rb, cb, gi, row)
 						}
 					}
 				}
 			}
 		}
-		for _, sc := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+		for _, sc := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal, WSS} {
 			if s.CompressedCells(sc, 5) != back.CompressedCells(sc, 5) ||
-				s.IndexStorageBits(sc, 5) != back.IndexStorageBits(sc, 5) {
+				s.IndexStorageBits(sc, 5) != back.IndexStorageBits(sc, 5) ||
+				s.EmptyGroups(sc, 5) != back.EmptyGroups(sc, 5) {
 				t.Fatalf("trial %d: scheme %v accounting diverged", trial, sc)
 			}
 		}
 		comparePlanSets(t, s.PlanSet(ORC, 5), back.PlanSet(ORC, 5), s.Layout)
+		comparePlanSets(t, s.PlanSet(WSS, 5), back.PlanSet(WSS, 5), s.Layout)
 	}
 }
 
@@ -87,7 +99,8 @@ func comparePlanSets(t *testing.T, a, b *PlanSet, lay mapping.Layout) {
 		for cb := range a.Tiles[rb] {
 			ta, tb := &a.Tiles[rb][cb], &b.Tiles[rb][cb]
 			if ta.AllRows != tb.AllRows || ta.Words != tb.Words || ta.Groups != tb.Groups ||
-				ta.RowCount != tb.RowCount || ta.OUs != tb.OUs {
+				ta.RowCount != tb.RowCount || ta.OUs != tb.OUs ||
+				ta.NonEmptyGroups != tb.NonEmptyGroups {
 				t.Fatalf("tile (%d,%d) scalars diverged:\n %+v\n %+v", rb, cb, ta, tb)
 			}
 			if ta.AllRows {
@@ -129,7 +142,7 @@ func TestPlanSetWireRoundTrip(t *testing.T) {
 	r := xrand.New(11)
 	for trial := 0; trial < 10; trial++ {
 		s, _, _, _ := randomStructure(r)
-		for _, sc := range []Scheme{Baseline, Naive, ORC} {
+		for _, sc := range []Scheme{Baseline, Naive, ORC, WSS} {
 			for _, idx := range []int{0, 3, 5} {
 				ps := s.PlanSet(sc, idx)
 				wire := AppendPlanSet(nil, ps)

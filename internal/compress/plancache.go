@@ -3,7 +3,7 @@
 // plans, the word-plane flattening of the per-group row bitsets, and
 // the static OU/wordline counts the simulator's scheduling needs.
 // Before this cache the simulator rebuilt identical plans (including
-// the delta-index encoding) on every SimulateLayer call, six times per
+// the delta-index encoding) on every SimulateLayer call, once per mode per
 // RunAll sweep; now each distinct key is built exactly once per
 // Structure, concurrently-safe, and shared read-only by every mode and
 // worker.
@@ -37,6 +37,11 @@ type TilePlans struct {
 	// OUs is Σ_g ceil(len(GroupRows[g])/S_WL) — the per-slice OU count
 	// without Dynamic OU Formation.
 	OUs int64
+	// NonEmptyGroups counts groups retaining at least one row. Schemes
+	// whose plans reorder inputs fetch once per non-empty group — an
+	// empty group (an all-zero weight bit slice under WSS) costs no
+	// eDRAM read at all.
+	NonEmptyGroups int
 	// AllRows marks a Baseline tile: every group keeps every row, so
 	// GroupRows and Plane are left nil rather than materializing Groups
 	// identical full masks; TileRows carries the height. RowCount and
@@ -141,6 +146,7 @@ func (s *Structure) PlanSetMetered(scheme Scheme, indexBits int, cm CacheMetrics
 // identically.
 func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 	lay := s.Layout
+	grid := s.schemeGroups(scheme)
 	ps := &PlanSet{Tiles: make([][]TilePlans, lay.RowBlocks)}
 	var idxScratch []int // reused raw keep-set indices across groups
 	var rowScratch []int // reused encoded-rows accumulator across tiles
@@ -181,6 +187,7 @@ func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 				tp.TileRows = tileRows
 				tp.RowCount = int64(nGroups) * int64(tileRows)
 				tp.OUs = int64(nGroups) * int64(xmath.CeilDiv(tileRows, lay.SWL))
+				tp.NonEmptyGroups = nGroups
 			case Naive:
 				enc := encode(s.TileNonZeroRows(rb, cb))
 				rows := make([]int, len(enc))
@@ -197,7 +204,7 @@ func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 				offs[0] = 0
 				acc := rowScratch[:0]
 				for gi := 0; gi < nGroups; gi++ {
-					keep := s.groups[rb][cb][gi]
+					keep := grid[rb][cb][gi]
 					if scheme == Ideal || indexBits <= 0 {
 						acc = keep.Indices(acc)
 					} else {
@@ -223,6 +230,9 @@ func (s *Structure) buildPlanSet(scheme Scheme, indexBits int) *PlanSet {
 					}
 					tp.RowCount += int64(len(rows))
 					tp.OUs += int64(xmath.CeilDiv(len(rows), lay.SWL))
+					if len(rows) > 0 {
+						tp.NonEmptyGroups++
+					}
 				}
 			}
 		}
@@ -247,4 +257,7 @@ func (tp *TilePlans) shareRows(rows []int, swl int) {
 	}
 	tp.RowCount = int64(tp.Groups) * int64(len(rows))
 	tp.OUs = int64(tp.Groups) * int64(xmath.CeilDiv(len(rows), swl))
+	if len(rows) > 0 {
+		tp.NonEmptyGroups = tp.Groups
+	}
 }

@@ -31,7 +31,7 @@ func cacheTestStructure(t *testing.T) *Structure {
 func TestPlanSetMatchesPlan(t *testing.T) {
 	s := cacheTestStructure(t)
 	lay := s.Layout
-	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal, WSS} {
 		indexBits := 3
 		ps := s.PlanSet(scheme, indexBits)
 		if len(ps.Tiles) != lay.RowBlocks || len(ps.Tiles[0]) != lay.ColBlocks {
@@ -159,7 +159,7 @@ func TestPlanSetRejectsOCC(t *testing.T) {
 // for every scheme across several index widths.
 func TestPlanStatsMatchStoragePlanned(t *testing.T) {
 	s := cacheTestStructure(t)
-	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal} {
+	for _, scheme := range []Scheme{Baseline, Naive, ReCom, ORC, Ideal, WSS} {
 		for _, bits := range []int{0, 1, 2, 3, 5} {
 			wantCells, wantStorage := s.storagePlanned(scheme, bits)
 			gotCells := s.CompressedCells(scheme, bits)

@@ -18,7 +18,6 @@ import (
 	"context"
 	"fmt"
 
-	"sre/internal/compress"
 	"sre/internal/parallel"
 	"sre/internal/pipeline"
 )
@@ -168,9 +167,8 @@ func simulateLayerBatch(ctx context.Context, l Layer, cfg Config, pool *parallel
 			"core: layer %q: structure was built with a different geometry (layout %d/%d/%d, config %d/%d/%d)",
 			l.Name, lay.XbarRows, lay.SWL, lay.SBL, g.XbarRows, g.SWL, g.SBL)
 	}
-	if cfg.Mode.Scheme == compress.OCC {
-		return nil, fmt.Errorf(
-			"core: layer %q: OU-column compression cannot combine with DOF (paper Fig. 10)", l.Name)
+	if err := validateModeLayer(l, cfg); err != nil {
+		return nil, err
 	}
 	msh := cfg.Metrics.Shard()
 	sampled := SampledWindows(windows, cfg.MaxWindows)

@@ -1,5 +1,5 @@
 // Window-code plane cache: the activation-side analogue of
-// compress.PlanSet. RunAll's six modes (and repeated SimulateLayer
+// compress.PlanSet. RunAll's modes (and repeated SimulateLayer
 // calls) all consume the same sampled window codes, but before this
 // cache each mode re-synthesized them from the ActivationSource —
 // per-window RNG and transcendentals for workload.SyntheticActs,

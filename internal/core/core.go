@@ -73,6 +73,13 @@ var (
 	// ModeOCC is the §4.1 column-compression alternative; it cannot
 	// combine with DOF (Fig. 10), which is why the paper's SRE uses ORC.
 	ModeOCC = Mode{compress.OCC, false}
+	// ModeWSS adds weight bit-slice sparsity on top of ORC's per-group
+	// row compression: groups whose 16 same-slice columns hold only
+	// all-zero weight bit slices map no OUs and issue no eDRAM fetch.
+	ModeWSS = Mode{compress.WSS, false}
+	// ModeORCDOFWSS composes all three axes: ORC-style row compression
+	// per slice group, weight-slice elision, and Dynamic OU Formation.
+	ModeORCDOFWSS = Mode{compress.WSS, true}
 )
 
 func (m Mode) String() string {
@@ -83,6 +90,8 @@ func (m Mode) String() string {
 		return "dof"
 	case m.Scheme == compress.ORC && m.DOF:
 		return "orc+dof"
+	case m.Scheme == compress.WSS && m.DOF:
+		return "orc+dof+wss"
 	case m.DOF:
 		return m.Scheme.String() + "+dof"
 	default:
@@ -210,7 +219,7 @@ func recordStaticOccupancy(occ *metrics.Histogram, tp *tilePlan, swl int, reps i
 
 // publishPoolMetrics records the pool's cumulative accounting as
 // max-gauges. Gauges merge by maximum and the stats are monotonic, so
-// repeated publishes from a shared pool (RunAll's six modes, nested
+// repeated publishes from a shared pool (RunAll's modes, nested
 // sweeps) converge on the final totals instead of double-counting.
 func publishPoolMetrics(reg *metrics.Registry, pool *parallel.Pool) {
 	if reg == nil {
@@ -347,7 +356,7 @@ type Layer struct {
 	OCC    *compress.OCCStructure
 	Acts   ActivationSource
 	// Codes, when non-nil, caches the layer's sampled window codes so
-	// RunAll's six modes (and repeated SimulateLayer calls) share one
+	// RunAll's modes (and repeated SimulateLayer calls) share one
 	// materialization instead of re-reading Acts per mode
 	// (workload.Build attaches one to every layer). Config.NoCodeCache
 	// opts a run out.
@@ -513,6 +522,30 @@ type tilePlan struct {
 // to a disjoint slot by phase 1.
 type batchWork struct{ ous, wl int64 }
 
+// validateModeLayer checks the mode against the layer's prepared state.
+// The rules derive from scheme traits, not a per-mode switch: a scheme
+// that cannot compose with DOF (OCC — Fig. 10: currents of different
+// outputs would accumulate on one bitline) rejects any DOF pairing, a
+// scheme that plans over weight bit-slice planes (WSS) requires the
+// structure to carry them, and OCC additionally needs its column-
+// compressed companion structure.
+func validateModeLayer(l Layer, cfg Config) error {
+	if cfg.Mode.DOF && !cfg.Mode.Scheme.ComposesWithDOF() {
+		return fmt.Errorf(
+			"core: layer %q: scheme %v cannot combine with DOF (paper Fig. 10)", l.Name, cfg.Mode.Scheme)
+	}
+	if cfg.Mode.Scheme.RequiresSlicePlanes() && !l.Struct.HasSlicePlanes() {
+		return fmt.Errorf(
+			"core: layer %q: mode %v needs weight bit-slice planes (structure predates them or was decoded without slice planes)",
+			l.Name, cfg.Mode)
+	}
+	if cfg.Mode.Scheme == compress.OCC && l.OCC == nil {
+		return fmt.Errorf(
+			"core: layer %q: OCC mode needs Layer.OCC (compress.BuildOCC)", l.Name)
+	}
+	return nil
+}
+
 // simulateLayer is the layer engine. It runs in three phases so that
 // parallel execution stays bit-identical to serial:
 //
@@ -550,17 +583,8 @@ func simulateLayer(ctx context.Context, l Layer, cfg Config, pool *parallel.Pool
 	windows := l.Acts.Windows()
 	sampled := SampledWindows(windows, cfg.MaxWindows)
 
-	if cfg.Mode.Scheme == compress.OCC {
-		if cfg.Mode.DOF {
-			// Fig. 10: DOF over a column-compressed layout accumulates
-			// currents of different outputs on one bitline.
-			return LayerResult{}, fmt.Errorf(
-				"core: layer %q: OU-column compression cannot combine with DOF (paper Fig. 10)", l.Name)
-		}
-		if l.OCC == nil {
-			return LayerResult{}, fmt.Errorf(
-				"core: layer %q: OCC mode needs Layer.OCC (compress.BuildOCC)", l.Name)
-		}
+	if err := validateModeLayer(l, cfg); err != nil {
+		return LayerResult{}, err
 	}
 
 	// Resolve the layer's shared window-code plane. Every non-scalar
@@ -755,16 +779,13 @@ func kernelTilePlans(ctx context.Context, l Layer, cfg Config, ls *layerScratch,
 			tp.plans = ps.Tile(rb, cb)
 			tp.staticOUs = tp.plans.OUs
 			tp.staticWL = tp.plans.RowCount
-			// ORC reorders inputs per column group, so every group
-			// issues its own batch fetch (paper §4.1, the Fig. 18
-			// eDRAM effect); input-order-preserving modes fetch the
-			// batch once. Each fetch reads the full batch's buffer
-			// lines — gather happens at the IR, not inside the eDRAM.
-			if cfg.Mode.Scheme == compress.ORC {
-				tp.fetchGroups = tp.plans.Groups
-			} else {
-				tp.fetchGroups = 1
-			}
+			// Row-reordering schemes issue one batch fetch per column
+			// group (paper §4.1, the Fig. 18 eDRAM effect);
+			// input-order-preserving modes fetch the batch once, and
+			// WSS skips the fetch of groups whose weight bit slice is
+			// all-zero. Each fetch reads the full batch's buffer lines
+			// — gather happens at the IR, not inside the eDRAM.
+			tp.fetchGroups = cfg.Mode.Scheme.FetchGroups(tp.plans.Groups, tp.plans.NonEmptyGroups)
 			tp.fetchBits = tileRows * cfg.Quant.ABits
 		}
 	}

@@ -50,7 +50,7 @@ func goldenLayer(t *testing.T) Layer {
 func TestGoldenKernelMatchesScalar(t *testing.T) {
 	layer := goldenLayer(t)
 	ctx := context.Background()
-	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF, ModeWSS, ModeORCDOFWSS}
 	for _, mode := range modes {
 		for _, workers := range []int{1, 4} {
 			cfg := DefaultConfig()
@@ -108,7 +108,7 @@ func TestGoldenSampledWindows(t *testing.T) {
 func TestGoldenMeteredIdentical(t *testing.T) {
 	layer := goldenLayer(t)
 	ctx := context.Background()
-	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF}
+	modes := []Mode{ModeBaseline, ModeNaive, ModeReCom, ModeORC, ModeDOF, ModeORCDOF, ModeWSS, ModeORCDOFWSS}
 	for _, mode := range modes {
 		for _, workers := range []int{1, 4} {
 			cfg := DefaultConfig()
@@ -153,7 +153,7 @@ func TestGoldenMeteredIdentical(t *testing.T) {
 func TestGoldenMeteredScalarOccupancy(t *testing.T) {
 	layer := goldenLayer(t)
 	ctx := context.Background()
-	for _, mode := range []Mode{ModeNaive, ModeDOF, ModeORCDOF} {
+	for _, mode := range []Mode{ModeNaive, ModeDOF, ModeORCDOF, ModeORCDOFWSS} {
 		cfg := DefaultConfig()
 		cfg.Mode = mode
 		cfg.MaxWindows = 0

@@ -33,6 +33,7 @@ func scalarTilePlans(ctx context.Context, l Layer, cfg Config) ([][]tilePlan, er
 			tp := &plans[rb][cb]
 			nGroups := lay.GroupsInTile(cb)
 			tp.groupBits = make([]*bitset.Set, nGroups)
+			nonEmpty := 0
 			for gi := 0; gi < nGroups; gi++ {
 				plan := st.Plan(cfg.Mode.Scheme, rb, cb, gi, cfg.IndexBits)
 				bs := bitset.New(tileRows)
@@ -42,12 +43,11 @@ func scalarTilePlans(ctx context.Context, l Layer, cfg Config) ([][]tilePlan, er
 				tp.groupBits[gi] = bs
 				tp.staticOUs += int64(xmath.CeilDiv(len(plan.Rows), g.SWL))
 				tp.staticWL += int64(len(plan.Rows))
+				if len(plan.Rows) > 0 {
+					nonEmpty++
+				}
 			}
-			if cfg.Mode.Scheme == compress.ORC {
-				tp.fetchGroups = nGroups
-			} else {
-				tp.fetchGroups = 1
-			}
+			tp.fetchGroups = cfg.Mode.Scheme.FetchGroups(nGroups, nonEmpty)
 			tp.fetchBits = tileRows * cfg.Quant.ABits
 		}
 	}

@@ -130,6 +130,7 @@ var registry = map[string]runner{
 	"fig22":                Fig22,
 	"fig23":                Fig23,
 	"fig24":                Fig24,
+	"pr10-wss":             WSSComposability,
 	"overhead":             Overhead,
 	"ablation-indexbits":   AblationIndexBits,
 	"ablation-occ":         AblationOCC,
@@ -149,7 +150,8 @@ func IDs() []string {
 
 func orderKey(id string) int {
 	order := []string{"table1", "table2", "fig4", "fig5", "fig17", "fig18",
-		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "overhead",
+		"fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "pr10-wss",
+		"overhead",
 		"ablation-indexbits", "ablation-occ", "ablation-buffer",
 		"ablation-replication"}
 	for i, v := range order {
@@ -183,11 +185,12 @@ func specsFor(opt Options) []workload.Spec {
 // builtKey memoizes network builds within a process: experiments share
 // identical builds (same prune mode, quantization, geometry, seed).
 type builtKey struct {
-	name string
-	mode workload.PruneMode
-	p    quant.Params
-	g    mapping.Geometry
-	seed uint64
+	name     string
+	mode     workload.PruneMode
+	p        quant.Params
+	g        mapping.Geometry
+	seed     uint64
+	sliceCap int
 }
 
 var (
@@ -198,7 +201,7 @@ var (
 // build returns a cached simulator-ready network, consulting the
 // snapshot directory (when opt names one) before paying for a build.
 func build(spec workload.Spec, mode workload.PruneMode, p quant.Params, g mapping.Geometry, opt Options) (*workload.Built, error) {
-	key := builtKey{spec.Name, mode, p, g, opt.Seed}
+	key := builtKey{spec.Name, mode, p, g, opt.Seed, spec.SliceCap}
 	builtMu.Lock()
 	b, ok := builtCache[key]
 	builtMu.Unlock()
@@ -256,7 +259,7 @@ var sslModes = []core.Mode{
 	core.ModeORC, core.ModeDOF, core.ModeORCDOF,
 }
 
-// modeResults runs a built network through all six modes, overlapping
+// modeResults runs a built network through the paper's six core modes, overlapping
 // the modes on one shared worker pool.
 func modeResults(b *workload.Built, spec workload.Spec, p quant.Params, g mapping.Geometry, opt Options) map[string]core.NetworkResult {
 	pool := parallel.New(opt.Workers)

@@ -14,8 +14,8 @@ func quick() Options { return Options{Seed: 1, MaxWindows: 12, Quick: true} }
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(ids))
 	}
 	if ids[0] != "table1" || ids[len(ids)-1] != "ablation-replication" {
 		t.Fatalf("ordering wrong: %v", ids)

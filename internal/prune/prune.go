@@ -247,6 +247,55 @@ func Magnitude(w []float32, target float64) {
 	}
 }
 
+// SliceSparsify clamps weight magnitudes in place so that, quantized
+// with a single per-tensor scale at wbits precision and decomposed into
+// cellBits-wide cells, every clamped code fits in the maxSlices
+// least-significant weight bit slices — the high slices become all-zero
+// and the WSS scheme elides their OU groups entirely. The elements at
+// the tensor's maximum magnitude are left untouched: they anchor the
+// per-tensor quantization scale (which maps the max to the top code),
+// without which clamping would simply rescale every code back to full
+// range. Signs are preserved. maxSlices outside (0, wbits/cellBits)
+// leaves w unchanged. The parameters are plain ints so the package
+// stays independent of internal/quant.
+func SliceSparsify(w []float32, maxSlices, wbits, cellBits int) {
+	if cellBits <= 0 || maxSlices <= 0 || maxSlices >= wbits/cellBits || len(w) == 0 {
+		return
+	}
+	var maxAbs float32
+	for _, v := range w {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return
+	}
+	topCode := float64(uint64(1)<<uint(wbits) - 1)
+	capCode := float64(uint64(1)<<uint(maxSlices*cellBits) - 1)
+	clampAt := float32(float64(maxAbs) * capCode / topCode)
+	for i, v := range w {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a == maxAbs {
+			continue // scale anchor
+		}
+		if a > clampAt {
+			if v < 0 {
+				w[i] = -clampAt
+			} else {
+				w[i] = clampAt
+			}
+		}
+	}
+}
+
 // MatrixRowSparsity returns the fraction of fully-zero rows in a rank-2
 // matrix — the structure SSL creates and row compression exploits.
 func MatrixRowSparsity(w *tensor.Tensor) float64 {

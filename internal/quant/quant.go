@@ -57,6 +57,12 @@ func (p Params) CellsPerWeight() int { return p.WBits / p.CellBits }
 // needs.
 func (p Params) SlicesPerInput() int { return p.ABits / p.DACBits }
 
+// SlicesPerWeight returns how many bit slices one weight decomposes
+// into — numerically CellsPerWeight, but named for the slice-major
+// (WSS) view where same-significance cells of neighbouring weights are
+// grouped rather than the cells of one weight.
+func (p Params) SlicesPerWeight() int { return p.WBits / p.CellBits }
+
 // QuantizeUnsigned maps |x| into [0, 2^bits−1] with the given scale
 // (values-per-LSB). Values are clamped at the top code.
 func QuantizeUnsigned(x float64, bits int, scale float64) uint32 {
@@ -107,6 +113,52 @@ func (p Params) DecomposeSlices(q uint32, dst []uint16) []uint16 {
 		dst[i] = uint16(q >> uint(i*p.DACBits) & mask)
 	}
 	return dst
+}
+
+// DecomposeWeightSlices splits the weight magnitude code q into
+// WBits/CellBits bit slices, least-significant first — the weight-side
+// mirror of DecomposeSlices. The values equal DecomposeCells; the
+// distinction is interpretive: slice j of every weight in an OU column
+// group lands in the same physical group under the WSS slice-major
+// mapping, so an all-zero slice j across a group elides that group
+// entirely. dst may be nil.
+func (p Params) DecomposeWeightSlices(q uint32, dst []uint16) []uint16 {
+	n := p.SlicesPerWeight()
+	if dst == nil {
+		dst = make([]uint16, n)
+	}
+	mask := uint32(1)<<uint(p.CellBits) - 1
+	for i := 0; i < n; i++ {
+		dst[i] = uint16(q >> uint(i*p.CellBits) & mask)
+	}
+	return dst
+}
+
+// WeightSliceDensities returns, per weight bit slice (LSB first), the
+// fraction of non-zero slice values across all the matrix's weights —
+// the per-slice refinement of CellMatrix.Density and the statistic that
+// motivates WSS: magnitude-skewed weights leave high-order slices
+// almost entirely zero.
+func (m *Matrix) WeightSliceDensities() []float64 {
+	spw := m.P.SlicesPerWeight()
+	counts := make([]int, spw)
+	buf := make([]uint16, spw)
+	for _, q := range m.Q {
+		m.P.DecomposeWeightSlices(q, buf)
+		for j, s := range buf {
+			if s != 0 {
+				counts[j]++
+			}
+		}
+	}
+	out := make([]float64, spw)
+	if len(m.Q) == 0 {
+		return out
+	}
+	for j, n := range counts {
+		out[j] = float64(n) / float64(len(m.Q))
+	}
+	return out
 }
 
 // ComposeCells reassembles a magnitude code from its cell values

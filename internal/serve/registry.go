@@ -43,6 +43,7 @@ type Key struct {
 	ActivationBits int
 	CellBits       int
 	DACBits        int
+	SliceCap       int
 	Seed           uint64
 }
 
@@ -58,6 +59,7 @@ func KeyFor(network string, prune sre.PruneStyle, cfg sre.Config) Key {
 		ActivationBits: cfg.ActivationBits,
 		CellBits:       cfg.CellBits,
 		DACBits:        cfg.DACBits,
+		SliceCap:       cfg.SliceCap,
 		Seed:           cfg.Seed,
 	}
 }
@@ -70,14 +72,19 @@ func (k Key) Config() sre.Config {
 	cfg.OUHeight, cfg.OUWidth = k.OUHeight, k.OUWidth
 	cfg.WeightBits, cfg.ActivationBits = k.WeightBits, k.ActivationBits
 	cfg.CellBits, cfg.DACBits = k.CellBits, k.DACBits
+	cfg.SliceCap = k.SliceCap
 	cfg.Seed = k.Seed
 	return cfg
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/xbar%d/ou%dx%d/w%da%d/cell%d/dac%d/seed%d",
+	s := fmt.Sprintf("%s/%s/xbar%d/ou%dx%d/w%da%d/cell%d/dac%d/seed%d",
 		k.Network, k.Prune, k.Crossbar, k.OUHeight, k.OUWidth,
 		k.WeightBits, k.ActivationBits, k.CellBits, k.DACBits, k.Seed)
+	if k.SliceCap > 0 {
+		s += fmt.Sprintf("/slicecap%d", k.SliceCap)
+	}
+	return s
 }
 
 // Registry holds the resident networks. The zero value is not usable;

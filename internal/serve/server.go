@@ -197,8 +197,10 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // SimulateRequest is the POST /v1/simulate body. Exactly the canonical
-// spellings the CLIs use: modes via sre.ParseMode, prune styles via
-// sre.ParsePruneStyle.
+// spellings the CLIs use: modes via sre.ParseMode (the registry's full
+// list — "baseline" through "orc+dof+wss"), prune styles via
+// sre.ParsePruneStyle. An unknown mode spelling is a 400 whose error
+// body names the rejected mode and the accepted list.
 type SimulateRequest struct {
 	// Network is a Table 2 name (GET /v1/networks lists them).
 	Network string `json:"network"`
@@ -233,6 +235,7 @@ type ConfigOverrides struct {
 	DACBits    *int    `json:"dac_bits,omitempty"`
 	IndexBits  *int    `json:"index_bits,omitempty"`
 	MaxWindows *int    `json:"max_windows,omitempty"`
+	SliceCap   *int    `json:"slice_cap,omitempty"` // weight bit-slice cap (build-scoped; wss elision)
 	Seed       *uint64 `json:"seed,omitempty"`
 }
 
@@ -261,6 +264,9 @@ func (o ConfigOverrides) apply(cfg sre.Config) sre.Config {
 	if o.MaxWindows != nil {
 		cfg.MaxWindows = *o.MaxWindows
 	}
+	if o.SliceCap != nil {
+		cfg.SliceCap = *o.SliceCap
+	}
 	if o.Seed != nil {
 		cfg.Seed = *o.Seed
 	}
@@ -271,7 +277,9 @@ func (o ConfigOverrides) apply(cfg sre.Config) sre.Config {
 // in the order the request named its modes; each Result is
 // bit-identical to a direct Network.RunContext with the same options
 // (the sweep-wide metrics snapshot is stripped — scrape /metrics for
-// the aggregate view).
+// the aggregate view). Each Result carries its wire-format version
+// (sre.ResultVersion, currently 2: version 2 added the "wss" and
+// "orc+dof+wss" mode spellings and the elided-group count).
 type SimulateResponse struct {
 	Network   string       `json:"network"`
 	Prune     string       `json:"prune"`

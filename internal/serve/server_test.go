@@ -131,6 +131,54 @@ func TestServedResultBitIdentical(t *testing.T) {
 	}
 }
 
+// TestSimulateWSSRoundTrip proves the version-2 wire surface end to
+// end: the wss spellings parse, slice_cap selects its own resident
+// design point, and the served result is bit-identical to a direct
+// run with the same build options.
+func TestSimulateWSSRoundTrip(t *testing.T) {
+	srv := NewServer(Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	status, body := postSimulate(t, ts.URL,
+		`{"network":"MNIST","modes":["orc+dof","orc+dof+wss"],"config":{"max_windows":6,"slice_cap":2}}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	resp := decodeSimulate(t, body)
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	net, err := sre.Load("MNIST", sre.WithMaxWindows(6), sre.WithSliceCap(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mode := range []sre.Mode{sre.ORCDOF, sre.ORCDOFWSS} {
+		want, err := net.RunContext(context.Background(), mode, sre.WithMaxWindows(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Metrics = nil
+		if !reflect.DeepEqual(resp.Results[i], want) {
+			t.Errorf("mode %v: served result differs from direct run\n got %+v\nwant %+v",
+				mode, resp.Results[i], want)
+		}
+	}
+	if resp.Results[1].Version != 2 {
+		t.Fatalf("Result.Version = %d, want 2", resp.Results[1].Version)
+	}
+	// The capped design point must be resident under its own key.
+	found := false
+	for _, k := range srv.Registry().Keys() {
+		if strings.Contains(k.String(), "slicecap2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("slice-capped design point not resident under a slicecap key")
+	}
+}
+
 func TestSimulateRequestValidation(t *testing.T) {
 	srv := NewServer(Options{})
 	ts := httptest.NewServer(srv)
@@ -151,6 +199,12 @@ func TestSimulateRequestValidation(t *testing.T) {
 		if status, body := postSimulate(t, ts.URL, c.body); status != c.want {
 			t.Errorf("%s: status %d (want %d): %s", c.body, status, c.want, body)
 		}
+	}
+	// An unknown mode's 400 must name the rejected spelling so clients
+	// can tell a typo from a version skew.
+	if status, body := postSimulate(t, ts.URL, `{"network":"MNIST","mode":"warp-drive"}`); status != http.StatusBadRequest ||
+		!strings.Contains(string(body), "warp-drive") {
+		t.Errorf("unknown-mode reject does not name the mode: status %d body %s", status, body)
 	}
 	// None of the rejects may have built anything.
 	if got := srv.Registry().Builds(); got != 0 {

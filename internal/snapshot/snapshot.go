@@ -9,7 +9,7 @@
 // File layout (all integers little-endian):
 //
 //	[ 0, 8)  magic "SRESNAP\x00"
-//	[ 8,12)  u32 format version (currently 1)
+//	[ 8,12)  u32 format version (currently 2)
 //	[12,16)  u32 meta length in bytes
 //	[16,24)  u64 payload length in bytes
 //	[24,32)  u64 CRC-64/ECMA of the meta JSON
@@ -22,11 +22,12 @@
 // derived, so it is computable before building — that is what lets a
 // snapshot directory be consulted by hash prior to paying for a build,
 // and shared across replicas and CI. The payload is the concatenation,
-// layer by layer, of the structure word plane ([]u64), an optional ORC
-// plan-set section, and an optional window-code plane ([]u32); each
-// section's size is recorded in the meta, so decoding is pure slicing
-// and the group bitsets adopt sub-slices of one backing array without
-// copying.
+// layer by layer, of the structure word plane ([]u64), the weight-slice
+// group plane ([]u64, format 2 — what the WSS modes plan over), an
+// optional ORC plan-set section, and an optional window-code plane
+// ([]u32); each section's size is recorded in the meta, so decoding is
+// pure slicing and the group bitsets adopt sub-slices of one backing
+// array without copying.
 //
 // Decoding fails loudly: a bad magic, an unsupported version, a length
 // or checksum that does not line up, or a meta whose recomputed content
@@ -60,8 +61,9 @@ import (
 // FormatVersion is the current snapshot format version. Bump it on any
 // incompatible layout change; it participates in the content hash, so
 // old snapshots are never matched by hash, and OpenSnapshot rejects
-// them with ErrVersion rather than misreading them.
-const FormatVersion = 1
+// them with ErrVersion rather than misreading them. Version 2 added
+// the per-layer weight-slice plane section and Spec.SliceCap.
+const FormatVersion = 2
 
 const (
 	magic      = "SRESNAP\x00"
@@ -140,6 +142,7 @@ func (k Key) Hash() [32]byte {
 	} else {
 		wi(0)
 	}
+	wi(k.Spec.SliceCap)
 	wi(int(k.Prune))
 	wi(k.Quant.WBits)
 	wi(k.Quant.ABits)
@@ -210,6 +213,7 @@ type layerMeta struct {
 	Stats         workload.LayerStats
 	Acts          actsMeta
 	PlaneWords    int // structure word-plane length (u64 words)
+	SliceWords    int // weight-slice plane length (u64 words, format 2)
 	PlanBytes     int // ORC plan-set section length (0 = absent)
 	CodeSampled   int // code-plane sampled-window count (0 = absent)
 }
@@ -285,10 +289,16 @@ func encodeBody(k Key, b *workload.Built, o WriteOptions) (meta, payload []byte,
 				Sparsity: sa.Sparsity, Octaves: sa.Octaves, ChanOctaves: sa.ChanOctaves,
 				RowsPerChan: sa.RowsPerChan, ABits: sa.ABits, Seed: sa.Seed},
 			PlaneWords: st.PlaneWords(),
+			SliceWords: st.SlicePlaneWords(),
 		}
-		// Structure word plane, contiguous little-endian.
+		// Structure word plane, contiguous little-endian, then the
+		// weight-slice group plane in the same encoding.
 		planes := st.AppendPlanes(make([]uint64, 0, lm.PlaneWords))
 		for _, wd := range planes {
+			binary.LittleEndian.PutUint64(word[:], wd)
+			payload = append(payload, word[:]...)
+		}
+		for _, wd := range st.AppendSlicePlanes(make([]uint64, 0, lm.SliceWords)) {
 			binary.LittleEndian.PutUint64(word[:], wd)
 			payload = append(payload, word[:]...)
 		}
@@ -404,11 +414,11 @@ func Decode(data []byte) (Key, *workload.Built, error) {
 	off := 0
 	for i := range fm.Layers {
 		lm := &fm.Layers[i]
-		if lm.Rows <= 0 || lm.Cols <= 0 || lm.PlaneWords < 0 || lm.PlanBytes < 0 ||
-			lm.CodeSampled < 0 || lm.Acts.Rows != lm.Rows {
+		if lm.Rows <= 0 || lm.Cols <= 0 || lm.PlaneWords < 0 || lm.SliceWords < 0 ||
+			lm.PlanBytes < 0 || lm.CodeSampled < 0 || lm.Acts.Rows != lm.Rows {
 			return zero, nil, fmt.Errorf("%w: layer %s has inconsistent meta", ErrCorrupt, lm.Name)
 		}
-		need := lm.PlaneWords*8 + lm.PlanBytes + lm.CodeSampled*lm.Acts.Rows*4
+		need := (lm.PlaneWords+lm.SliceWords)*8 + lm.PlanBytes + lm.CodeSampled*lm.Acts.Rows*4
 		if need < 0 || len(payload)-off < need {
 			return zero, nil, fmt.Errorf("%w: payload too short for layer %s", ErrCorrupt, lm.Name)
 		}
@@ -417,7 +427,12 @@ func Decode(data []byte) (Key, *workload.Built, error) {
 			planes[j] = binary.LittleEndian.Uint64(payload[off:])
 			off += 8
 		}
-		st, err := compress.NewStructureFromPlanes(lm.Rows, lm.Cols, k.Quant, k.Geom, planes, lm.NonZeroCells)
+		slicePlanes := make([]uint64, lm.SliceWords)
+		for j := range slicePlanes {
+			slicePlanes[j] = binary.LittleEndian.Uint64(payload[off:])
+			off += 8
+		}
+		st, err := compress.NewStructureFromPlanes(lm.Rows, lm.Cols, k.Quant, k.Geom, planes, slicePlanes, lm.NonZeroCells)
 		if err != nil {
 			return zero, nil, fmt.Errorf("%w: layer %s: %v", ErrCorrupt, lm.Name, err)
 		}

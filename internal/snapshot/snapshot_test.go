@@ -91,6 +91,7 @@ func TestDeterministicHashAndBytes(t *testing.T) {
 		func(k *Key) { k.Geom.SWL = 8 },
 		func(k *Key) { k.Spec.WeightSparsity += 0.01 },
 		func(k *Key) { k.Spec.Name += "x" },
+		func(k *Key) { k.Spec.SliceCap = 2 },
 	}
 	base := k.Hash()
 	for i, f := range perturb {

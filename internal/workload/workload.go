@@ -82,6 +82,13 @@ type Spec struct {
 	GSLConv        float64 // Fig. 23 per-conv-layer sparsity
 	GSLFC          float64 // Fig. 23 per-FC-layer sparsity
 	Large          bool    // ImageNet-scale (Fig. 23's subject set)
+	// SliceCap, when positive, clamps each layer's pruned weights
+	// (prune.SliceSparsify) so their quantized codes fit in the SliceCap
+	// least-significant weight bit slices — the slice-sparse structure
+	// the WSS modes elide. 0 leaves weights untouched, so every existing
+	// build stays bit-identical. Not part of Table 2; the WSS
+	// composability experiment sets it on a spec copy.
+	SliceCap int
 }
 
 // Specs returns the six evaluated networks in Table 2 order.
@@ -246,6 +253,9 @@ func (s Spec) Build(mode PruneMode, p quant.Params, g mapping.Geometry, seed uin
 		for pi, spec := range s.pruneSpecs(mode, li) {
 			prune.ApplyMatrix(w, spec, root.Split(fmt.Sprintf("p%d/%s", pi, li.Path)))
 		}
+		if s.SliceCap > 0 {
+			prune.SliceSparsify(w.Data(), s.SliceCap, p.WBits, p.CellBits)
+		}
 
 		src := compress.NewFloatSource(w, p)
 		st := compress.Build(src, p, g)
@@ -376,6 +386,9 @@ func (s Spec) BuildOCCStructures(mode PruneMode, p quant.Params, g mapping.Geome
 		}
 		for pi, spec := range s.pruneSpecs(mode, li) {
 			prune.ApplyMatrix(w, spec, root.Split(fmt.Sprintf("p%d/%s", pi, li.Path)))
+		}
+		if s.SliceCap > 0 {
+			prune.SliceSparsify(w.Data(), s.SliceCap, p.WBits, p.CellBits)
 		}
 		out = append(out, compress.BuildOCC(compress.NewFloatSource(w, p), p, g))
 	}

@@ -55,6 +55,28 @@ echo "$METRICS" | grep -q '^sre_serve_sweeps_total 1$'
 echo "$METRICS" | grep -q '^sre_serve_result_cache_hits_total 2$'
 echo "smoke: /metrics scrape ok (1 sweep for 2 requests, 2 cache hits)"
 
+# WSS round-trip: the version-2 wire surface. slice_cap selects its
+# own resident design point and the composed mode must run and report
+# fewer cycles than it would without elision (we only pin that the
+# spellings serve and the version tag is 2 — numbers are the
+# experiment harness's job).
+WREQ='{"network":"MNIST","modes":["orc+dof","orc+dof+wss"],"config":{"max_windows":6,"slice_cap":2},"timeout_ms":60000}'
+WOUT=$(curl -sf -X POST "$BASE/v1/simulate" -d "$WREQ")
+echo "$WOUT" | grep -q '"Mode": "orc+dof+wss"'
+echo "$WOUT" | grep -q '"Version": 2'
+echo "smoke: /v1/simulate wss round-trip ok (slice_cap design point, Version 2)"
+
+# An unknown mode must be a 400 whose body names the rejected mode.
+BADCODE=$(curl -s -o /tmp/smoke_badmode.$$ -w '%{http_code}' -X POST "$BASE/v1/simulate" \
+	-d '{"network":"MNIST","mode":"warp-drive"}')
+grep -q 'warp-drive' /tmp/smoke_badmode.$$
+rm -f /tmp/smoke_badmode.$$
+if [ "$BADCODE" != "400" ]; then
+	echo "smoke: unknown mode returned $BADCODE (want 400)" >&2
+	exit 1
+fi
+echo "smoke: unknown mode rejected with 400 naming the mode"
+
 if [ -n "$LOADBIN" ]; then
 	"$LOADBIN" -addr "$ADDR" -clients 4 -requests 40 -keys 2 -seeds 2 \
 		-max-windows 6 -modes baseline,orc+dof -timeout 60s

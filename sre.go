@@ -44,7 +44,8 @@ import (
 	"sre/internal/workload"
 )
 
-// Mode is a sparsity-exploitation configuration (paper §6).
+// Mode is a sparsity-exploitation configuration (paper §6, plus the
+// weight bit-slice extensions).
 type Mode int
 
 const (
@@ -63,51 +64,94 @@ const (
 	DOF
 	// ORCDOF combines ORC and DOF — the paper's full Sparse ReRAM Engine.
 	ORCDOF
+	// WSS adds weight bit-slice sparsity: weights map slice-major so
+	// each OU column group holds same-significance bit slices of
+	// neighbouring weights, per-group zero rows are removed exactly as
+	// ORC does, and a group whose whole slice is zero is elided —
+	// no OUs, no driven wordlines, no eDRAM fetch.
+	WSS
+	// ORCDOFWSS composes all three sparsity axes: per-group row
+	// compression, weight-slice elision, and Dynamic OU Formation.
+	ORCDOFWSS
 )
 
-// Modes lists every mode in the paper's presentation order.
-func Modes() []Mode { return []Mode{Baseline, Naive, ReCom, ORC, DOF, ORCDOF} }
+// modeDesc is one row of the mode registry: the canonical wire spelling
+// and the core simulator configuration a public Mode stands for.
+type modeDesc struct {
+	name string
+	core core.Mode
+}
+
+// modeTable is the central mode registry, indexed by Mode. Everything
+// mode-dispatched in this package — Modes, String, ParseMode,
+// MarshalText, coreMode — derives from it, so adding a mode is exactly
+// one Mode constant plus one descriptor row; there are no parallel
+// switch chains to keep in sync. Existing rows must keep their position
+// and spelling: both are wire-visible (served JSON, CLI flags) and
+// pinned by TestModesRegistryPinned.
+var modeTable = [...]modeDesc{
+	Baseline:  {"baseline", core.ModeBaseline},
+	Naive:     {"naive", core.ModeNaive},
+	ReCom:     {"recom", core.ModeReCom},
+	ORC:       {"orc", core.ModeORC},
+	DOF:       {"dof", core.ModeDOF},
+	ORCDOF:    {"orc+dof", core.ModeORCDOF},
+	WSS:       {"wss", core.ModeWSS},
+	ORCDOFWSS: {"orc+dof+wss", core.ModeORCDOFWSS},
+}
+
+// valid reports whether m is a registry entry.
+func (m Mode) valid() bool { return m >= 0 && int(m) < len(modeTable) }
+
+// Modes lists every mode in the paper's presentation order (the
+// registry order; bit-slice extensions follow the paper's six).
+func Modes() []Mode {
+	out := make([]Mode, len(modeTable))
+	for i := range out {
+		out[i] = Mode(i)
+	}
+	return out
+}
 
 func (m Mode) String() string {
-	switch m {
-	case Baseline:
-		return "baseline"
-	case Naive:
-		return "naive"
-	case ReCom:
-		return "recom"
-	case ORC:
-		return "orc"
-	case DOF:
-		return "dof"
-	case ORCDOF:
-		return "orc+dof"
+	if !m.valid() {
+		return fmt.Sprintf("mode(%d)", int(m))
 	}
-	return fmt.Sprintf("mode(%d)", int(m))
+	return modeTable[m].name
+}
+
+// modeNames returns every canonical spelling joined with "|", for error
+// messages.
+func modeNames() string {
+	names := make([]string, len(modeTable))
+	for i := range modeTable {
+		names[i] = modeTable[i].name
+	}
+	return strings.Join(names, "|")
 }
 
 // ParseMode parses a Mode's canonical spelling ("baseline", "naive",
-// "recom", "orc", "dof", "orc+dof"), case-insensitively. It is the
-// inverse of Mode.String and the single spelling shared by the CLIs
-// and the sreserved wire format.
+// "recom", "orc", "dof", "orc+dof", "wss", "orc+dof+wss"),
+// case-insensitively. It is the inverse of Mode.String and the single
+// spelling shared by the CLIs and the sreserved wire format.
 func ParseMode(s string) (Mode, error) {
 	name := strings.ToLower(strings.TrimSpace(s))
-	for _, m := range Modes() {
-		if m.String() == name {
-			return m, nil
+	for i := range modeTable {
+		if modeTable[i].name == name {
+			return Mode(i), nil
 		}
 	}
-	return 0, fmt.Errorf("sre: unknown mode %q (want baseline|naive|recom|orc|dof|orc+dof)", s)
+	return 0, fmt.Errorf("sre: unknown mode %q (want %s)", s, modeNames())
 }
 
 // MarshalText implements encoding.TextMarshaler with the canonical
 // spelling, so Mode fields JSON-encode as strings ("orc+dof") rather
 // than bare ints.
 func (m Mode) MarshalText() ([]byte, error) {
-	if m < Baseline || m > ORCDOF {
+	if !m.valid() {
 		return nil, fmt.Errorf("sre: cannot marshal unknown mode %d", int(m))
 	}
-	return []byte(m.String()), nil
+	return []byte(modeTable[m].name), nil
 }
 
 // UnmarshalText implements encoding.TextUnmarshaler via ParseMode.
@@ -121,21 +165,10 @@ func (m *Mode) UnmarshalText(text []byte) error {
 }
 
 func (m Mode) coreMode() (core.Mode, error) {
-	switch m {
-	case Baseline:
-		return core.ModeBaseline, nil
-	case Naive:
-		return core.ModeNaive, nil
-	case ReCom:
-		return core.ModeReCom, nil
-	case ORC:
-		return core.ModeORC, nil
-	case DOF:
-		return core.ModeDOF, nil
-	case ORCDOF:
-		return core.ModeORCDOF, nil
+	if !m.valid() {
+		return core.Mode{}, fmt.Errorf("sre: unknown mode %d", int(m))
 	}
-	return core.Mode{}, fmt.Errorf("sre: unknown mode %d", int(m))
+	return modeTable[m].core, nil
 }
 
 // PruneStyle selects the synthetic pruning the weights imitate.
@@ -212,6 +245,7 @@ type Config struct {
 	DACBits        int // wordline driver resolution (1)
 	IndexBits      int // input-index width; 0 = per-network Table 2 value
 	MaxWindows     int // per-layer window sampling cap; 0 = all windows
+	SliceCap       int // weight bit-slice cap at build time; 0 = off (see WithSliceCap)
 	Seed           uint64
 	Workers        int // simulation worker-pool width; 0 = GOMAXPROCS
 }
@@ -231,20 +265,6 @@ func DefaultConfig() Config {
 		Seed:           1,
 		Workers:        0,
 	}
-}
-
-// WithOU returns the config with a square OU size.
-//
-// Deprecated: use the sre.WithOU functional option instead — the
-// options are the single documented way to adjust a design point:
-//
-//	net, _ := sre.Load("VGG-16", sre.WithConfig(cfg), sre.WithOU(16))
-//
-// This method survives only for callers that assemble a Config value
-// before handing it to WithConfig.
-func (c Config) WithOU(s int) Config {
-	c.OUHeight, c.OUWidth = s, s
-	return c
 }
 
 // settings is the resolved option set a constructor or run starts from.
@@ -314,13 +334,22 @@ func WithSparsity(weight, activation float64) Option {
 	return func(s *settings) { s.weightSp, s.actSp = weight, activation }
 }
 
+// WithSliceCap caps quantized weight magnitudes at build time so every
+// weight fits in its n least-significant bit slices — the structure
+// the WSS and ORCDOFWSS modes elide. 0 (the default) leaves weights
+// untouched and is bit-identical to builds that predate the knob. The
+// cap is build-scoped: it reshapes the weights themselves (all modes
+// see the capped network), participates in the snapshot content hash,
+// and is rejected by OpenSnapshot like any other build-point change.
+func WithSliceCap(n int) Option { return func(s *settings) { s.cfg.SliceCap = n } }
+
 // WithProgress registers a callback invoked after each simulated layer
 // completes. Calls are serialized but may arrive out of layer order
 // when layers overlap on the worker pool.
 func WithProgress(fn func(Progress)) Option { return func(s *settings) { s.progress = fn } }
 
 // WithCodeCache enables or disables the per-layer window-code plane
-// cache for a run (default enabled). With it on, RunAll's six modes
+// cache for a run (default enabled). With it on, RunAll's modes
 // share one materialization of each layer's sampled activation codes;
 // off, every mode re-reads the activation source per window. Results
 // are bit-identical either way — disable it only to bound memory on
@@ -400,12 +429,20 @@ func (c Config) Validate() error {
 	if err := c.geometry().Validate(); err != nil {
 		return err
 	}
-	return c.params().Validate()
+	if err := c.params().Validate(); err != nil {
+		return err
+	}
+	if c.CellBits > 0 && (c.SliceCap < 0 || c.SliceCap > c.WeightBits/c.CellBits) {
+		return fmt.Errorf("sre: slice cap %d outside [0, %d] (weight bits / cell bits)",
+			c.SliceCap, c.WeightBits/c.CellBits)
+	}
+	return nil
 }
 
 // ResultVersion is the current Result wire-format version; see
-// Result.Version.
-const ResultVersion = 1
+// Result.Version. Version 2 added the WSS mode spellings ("wss",
+// "orc+dof+wss") to the Mode text encoding and the ElidedGroups field.
+const ResultVersion = 2
 
 // Breakdown splits a run's energy by component class. Every field is
 // in joules; Breakdown is part of the served JSON wire format, so
@@ -446,11 +483,17 @@ type Result struct {
 	Energy           Breakdown
 	CompressionRatio float64 // weight compression of the mode's scheme (×, dimensionless)
 	IndexStorageBits int64   // input-index storage the scheme needs (bits)
-	Layers           []LayerResult
+	// ElidedGroups counts OU column groups whose retained-row plans are
+	// empty under the mode's weight scheme, summed over layers
+	// (Version 2). Under WSS these are the all-zero weight bit slices:
+	// an elided group maps no OUs, drives no wordlines, and issues no
+	// eDRAM fetch. Always 0 for Baseline (every group keeps all rows).
+	ElidedGroups int64
+	Layers       []LayerResult
 	// Metrics is the merged observability snapshot when the run carried
 	// a WithMetrics registry (nil otherwise). RunAllContext snapshots
-	// once after every mode finishes, so all six results share the
-	// sweep-wide view.
+	// once after every mode finishes, so all the sweep's results share
+	// the sweep-wide view.
 	Metrics *MetricsSnapshot
 }
 
@@ -557,6 +600,9 @@ func buildNetwork(spec workload.Spec, s settings) (*Network, error) {
 	mode, err := s.style.pruneMode()
 	if err != nil {
 		return nil, err
+	}
+	if s.cfg.SliceCap > 0 {
+		spec.SliceCap = s.cfg.SliceCap
 	}
 	if s.snapshotDir != "" {
 		key := snapshot.Key{Spec: spec, Prune: mode, Quant: s.cfg.params(),
@@ -668,12 +714,13 @@ func OpenSnapshot(path string, opts ...Option) (*Network, error) {
 	cfg.WeightBits, cfg.ActivationBits = k.Quant.WBits, k.Quant.ABits
 	cfg.CellBits, cfg.DACBits = k.Quant.CellBits, k.Quant.DACBits
 	cfg.Seed = k.Seed
+	cfg.SliceCap = k.Spec.SliceCap
 	if cfg.geometry() != k.Geom || cfg.params() != k.Quant {
 		return nil, fmt.Errorf("sre: snapshot %s has a design point Config cannot represent (%+v)", path, k.Geom)
 	}
 	s := settings{cfg: cfg, style: style}.apply(opts)
 	if s.cfg.geometry() != k.Geom || s.cfg.params() != k.Quant ||
-		s.cfg.Seed != k.Seed || s.style != style {
+		s.cfg.Seed != k.Seed || s.style != style || s.cfg.SliceCap != k.Spec.SliceCap {
 		return nil, fmt.Errorf(
 			"sre: option would change the snapshot's build point (geometry, precision, seed, or prune style); rebuild with Load/Build instead")
 	}
@@ -806,18 +853,21 @@ func (n *Network) runContext(ctx context.Context, mode Mode, pool *parallel.Pool
 			Energy: Breakdown(lr.Energy),
 		})
 	}
-	// Compression ratio and index storage of the mode's weight scheme.
+	// Compression ratio, index storage, and elided groups of the mode's
+	// weight scheme.
 	var totalCells, compCells int64
-	var storage int64
+	var storage, elided int64
 	for _, l := range n.built.Layers {
 		totalCells += l.Struct.Layout.TotalCells()
 		compCells += l.Struct.CompressedCells(cm.Scheme, indexBits)
 		storage += l.Struct.IndexStorageBits(cm.Scheme, indexBits)
+		elided += l.Struct.EmptyGroups(cm.Scheme, indexBits)
 	}
 	if compCells > 0 {
 		out.CompressionRatio = float64(totalCells) / float64(compCells)
 	}
 	out.IndexStorageBits = storage
+	out.ElidedGroups = elided
 	if s.metrics != nil {
 		out.Metrics = s.metrics.Snapshot()
 	}
@@ -986,13 +1036,15 @@ func (n *Network) runBatchMode(ctx context.Context, mode Mode, pool *parallel.Po
 	if err != nil {
 		return err
 	}
-	// The mode's compression ratio and index storage depend only on the
-	// weight scheme: compute once, replicate across sets.
-	var totalCells, compCells, storage int64
+	// The mode's compression ratio, index storage, and elided groups
+	// depend only on the weight scheme: compute once, replicate across
+	// sets.
+	var totalCells, compCells, storage, elided int64
 	for _, l := range n.built.Layers {
 		totalCells += l.Struct.Layout.TotalCells()
 		compCells += l.Struct.CompressedCells(cm.Scheme, indexBits)
 		storage += l.Struct.IndexStorageBits(cm.Scheme, indexBits)
+		elided += l.Struct.EmptyGroups(cm.Scheme, indexBits)
 	}
 	for j, res := range ress {
 		r := Result{
@@ -1013,6 +1065,7 @@ func (n *Network) runBatchMode(ctx context.Context, mode Mode, pool *parallel.Po
 			r.CompressionRatio = float64(totalCells) / float64(compCells)
 		}
 		r.IndexStorageBits = storage
+		r.ElidedGroups = elided
 		out[j][mi] = r
 	}
 	return nil

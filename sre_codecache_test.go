@@ -16,13 +16,13 @@ func zeroMetrics(results []Result) []Result {
 	return out
 }
 
-// TestRunAllCodeCacheAlgebra runs the six-mode sweep metered and pins
+// TestRunAllCodeCacheAlgebra runs the full-mode sweep metered and pins
 // the window-code plane cache's accounting: every mode looks the plane
 // up once per layer, exactly one lookup per layer builds it (the cache
 // is fresh — networks attach a CodePlanes per layer at build time), and
-// the other five hit. The hits >= 5·layers bound is what makes the
-// cache worth its memory: five of the six modes read codes somebody
-// else already materialized.
+// the other seven hit. The hits == 7·layers identity is what makes the
+// cache worth its memory: all but one of the eight modes read codes
+// somebody else already materialized.
 func TestRunAllCodeCacheAlgebra(t *testing.T) {
 	net, err := Load("MNIST", smallOpts()...)
 	if err != nil {
@@ -40,16 +40,16 @@ func TestRunAllCodeCacheAlgebra(t *testing.T) {
 	if misses != layers || builds != layers {
 		t.Fatalf("code cache misses=%d builds=%d, want both == layers (%d)", misses, builds, layers)
 	}
-	if hits != 5*layers {
-		t.Fatalf("code cache hits = %d, want 5·layers (%d)", hits, 5*layers)
+	if hits != 7*layers {
+		t.Fatalf("code cache hits = %d, want 7·layers (%d)", hits, 7*layers)
 	}
 	if bytes := snap.Counters["sre_core_code_cache_bytes_total"]; bytes <= 0 {
 		t.Fatalf("code cache resident bytes = %d, want > 0", bytes)
 	}
 	// The arenas must have been exercised too: one layer-scratch
 	// checkout per (mode, layer), phase-1 checkouts for the DOF modes.
-	if gets := snap.Counters[`sre_core_arena_gets_total{arena="layer"}`]; gets != 6*layers {
-		t.Fatalf("layer arena gets = %d, want 6·layers (%d)", gets, 6*layers)
+	if gets := snap.Counters[`sre_core_arena_gets_total{arena="layer"}`]; gets != 8*layers {
+		t.Fatalf("layer arena gets = %d, want 8·layers (%d)", gets, 8*layers)
 	}
 	if gets := snap.Counters[`sre_core_arena_gets_total{arena="phase1"}`]; gets < 1 {
 		t.Fatalf("phase-1 arena saw no checkouts")

@@ -120,16 +120,16 @@ func TestRunAllMetricsPlanCacheReuse(t *testing.T) {
 	misses := snap.Counters["sre_compress_plan_cache_misses_total"]
 	builds := snap.Counters["sre_compress_plan_cache_builds_total"]
 	if hits < 1 {
-		t.Fatalf("plan cache saw no reuse across the six-mode sweep (hits=%d misses=%d)", hits, misses)
+		t.Fatalf("plan cache saw no reuse across the mode sweep (hits=%d misses=%d)", hits, misses)
 	}
 	if misses != builds || builds < 1 {
 		t.Fatalf("plan cache misses (%d) must equal builds (%d), both >= 1", misses, builds)
 	}
-	// Six modes over the same structures → six lookups per layer against
-	// four distinct keys (dof shares baseline's key, orc+dof shares
-	// orc's).
-	if lookups := hits + misses; lookups != int64(6*net.LayerCount()) {
-		t.Fatalf("plan cache lookups = %d, want %d", lookups, 6*net.LayerCount())
+	// Eight modes over the same structures → eight lookups per layer
+	// against five distinct keys (dof shares baseline's key, orc+dof
+	// shares orc's, orc+dof+wss shares wss's).
+	if lookups := hits + misses; lookups != int64(8*net.LayerCount()) {
+		t.Fatalf("plan cache lookups = %d, want %d", lookups, 8*net.LayerCount())
 	}
 	for _, mode := range Modes() {
 		name := fmt.Sprintf("sre_core_layers_total{mode=%q}", mode.String())

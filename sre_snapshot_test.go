@@ -146,6 +146,7 @@ func TestOpenSnapshotOptionBoundary(t *testing.T) {
 		"crossbar": WithCrossbar(64),
 		"cellbits": WithCellBits(4),
 		"prune":    WithPrune(GSL),
+		"slicecap": WithSliceCap(2),
 	} {
 		if _, err := OpenSnapshot(path, opt); err == nil {
 			t.Fatalf("build-scoped option %q accepted", name)

@@ -44,7 +44,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestModesRoundTrip(t *testing.T) {
-	if len(Modes()) != 6 {
+	if len(Modes()) != 8 {
 		t.Fatal("mode list")
 	}
 	seen := map[string]bool{}
@@ -54,6 +54,37 @@ func TestModesRoundTrip(t *testing.T) {
 			t.Fatalf("duplicate mode name %q", s)
 		}
 		seen[s] = true
+	}
+}
+
+// TestModesRegistryPinned pins the wire contract of the mode registry:
+// the spellings and their order are API. The first six entries predate
+// the registry and must never move or change spelling — /v1/simulate
+// requests, snapshot benchmark JSON, and sresim -mode flags all carry
+// these strings. New modes may only be appended.
+func TestModesRegistryPinned(t *testing.T) {
+	want := []string{
+		"baseline", "naive", "recom", "orc", "dof", "orc+dof",
+		"wss", "orc+dof+wss",
+	}
+	modes := Modes()
+	if len(modes) != len(want) {
+		t.Fatalf("Modes() has %d entries, want %d", len(modes), len(want))
+	}
+	for i, m := range modes {
+		if m.String() != want[i] {
+			t.Fatalf("Modes()[%d] = %q, want %q", i, m.String(), want[i])
+		}
+		back, err := ParseMode(want[i])
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", want[i], err)
+		}
+		if back != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", want[i], back, m)
+		}
+	}
+	if _, err := ParseMode("occ+dof"); err == nil {
+		t.Fatal("ParseMode accepted an unregistered spelling")
 	}
 }
 

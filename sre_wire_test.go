@@ -93,7 +93,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if res.Version != ResultVersion {
 		t.Fatalf("Result.Version = %d, want ResultVersion (%d)", res.Version, ResultVersion)
 	}
-	if !strings.Contains(string(raw), `"Version":1`) {
+	if !strings.Contains(string(raw), `"Version":2`) {
 		t.Fatalf("served JSON is missing the wire-format version: %s", raw[:120])
 	}
 	var back Result
